@@ -1,0 +1,130 @@
+"""Shared benchmark world and campaign cache.
+
+Every benchmark regenerates one table or figure of the paper against the
+same deterministic "bench world" — a scaled-down internet whose knobs are
+documented in DESIGN.md.  Campaign results are cached per (vantage,
+target set), since Table 7, Figures 6/7 and the subnet experiments all
+read the same 54-campaign grid.
+
+Rendered tables/series are written to ``benchmarks/results/*.txt`` and
+echoed to stdout, so both the pytest log and the tree keep the output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.hitlist import build_suite
+from repro.netsim import Internet, InternetConfig, build_internet
+from repro.prober import CampaignResult, run_yarrp6
+from repro.seeds import build_all_seeds
+
+#: The bench world.  Scaling notes (DESIGN.md §2): the paper's hitlists
+#: run to tens of millions against ~50k BGP prefixes; this world keeps the
+#: same proportions at roughly 1/1000 scale.  The cdn kIP parameters are
+#: scaled with client-population density, preserving the paper's 8x ratio
+#: between the k32 and k256 variants.
+BENCH_CONFIG = InternetConfig(
+    n_edge=200,
+    cpe_customers_per_isp=10_000,
+    leaves_per_alloc=(1, 2),
+    hosts_per_leaf=(1, 3),
+    seed=2018,
+)
+
+CAMPAIGN_PPS = 1000.0  # the paper's campaign rate (Section 4.3)
+MAX_TTL = 16           # the paper's tuned maximum TTL (Table 6)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The 18-campaign grid of Table 7 (9 sources x 2 zn levels).
+GRID_SETS = tuple(
+    "%s-z%d" % (source, level)
+    for source in (
+        "caida",
+        "dnsdb",
+        "fiebig",
+        "fdns_any",
+        "cdn-k256",
+        "cdn-k32",
+        "6gen",
+        "tum",
+        "random",
+    )
+    for level in (48, 64)
+)
+
+VANTAGES = ("EU-NET", "US-EDU-1", "US-EDU-2")
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_internet(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def seeds(world):
+    return build_all_seeds(
+        world, random_count=6000, sixgen_budget=12_000, cdn_k32=2, cdn_k256=16
+    )
+
+
+@pytest.fixture(scope="session")
+def suite(seeds):
+    return build_suite(
+        {name: seed_list.items for name, seed_list in seeds.items()},
+        levels=(48, 64),
+    )
+
+
+class CampaignCache:
+    """Lazily runs and memoizes grid campaigns."""
+
+    def __init__(self, world, suite):
+        self.world = world
+        self.suite = suite
+        self._results: Dict[Tuple[str, str], CampaignResult] = {}
+
+    def get(self, vantage: str, set_name: str) -> CampaignResult:
+        key = (vantage, set_name)
+        if key not in self._results:
+            internet = Internet(self.world)
+            targets = self.suite[set_name].addresses
+            self._results[key] = run_yarrp6(
+                internet,
+                vantage,
+                targets,
+                pps=CAMPAIGN_PPS,
+                max_ttl=MAX_TTL,
+                fill=True,
+                name="%s/%s" % (vantage, set_name),
+            )
+        return self._results[key]
+
+    def grid(self, vantages=VANTAGES, sets=GRID_SETS):
+        return {
+            (vantage, set_name): self.get(vantage, set_name)
+            for vantage in vantages
+            for set_name in sets
+        }
+
+
+@pytest.fixture(scope="session")
+def campaigns(world, suite):
+    return CampaignCache(world, suite)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + text)
+
+    return _save

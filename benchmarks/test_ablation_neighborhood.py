@@ -1,0 +1,65 @@
+"""Ablation — Yarrp's neighborhood enhancement (Section 4.2).
+
+The paper describes (as planned experimentation) a mode where Yarrp
+keeps per-TTL state over the local responsive neighborhood: once a TTL
+stops producing *new* interfaces for a window, probes at that TTL are
+skipped.  Near-vantage hops are few and discovered instantly, so the
+savings concentrate exactly where probes are most redundant.
+
+This bench measures the probe savings and the discovery cost across a
+range of neighborhood TTL limits.
+"""
+
+from repro.analysis import render_table
+from repro.netsim import Internet
+from repro.prober import run_yarrp6
+
+LIMITS = (None, 2, 4, 6)
+
+
+def run_trials(world, suite):
+    targets = suite["tum-z64"].addresses
+    out = {}
+    for limit in LIMITS:
+        internet = Internet(world)
+        kwargs = {"max_ttl": 16}
+        if limit is not None:
+            kwargs.update(
+                neighborhood_ttl=limit, neighborhood_window_us=1_000_000
+            )
+        out[limit] = run_yarrp6(internet, "EU-NET", targets, pps=2000, **kwargs)
+    return out
+
+
+def test_ablation_neighborhood(world, suite, save_result, benchmark):
+    out = benchmark.pedantic(run_trials, args=(world, suite), rounds=1, iterations=1)
+    rows = []
+    for limit in LIMITS:
+        result = out[limit]
+        rows.append(
+            [
+                "off" if limit is None else "<=%d" % limit,
+                result.sent,
+                result.summary.get("skipped", 0),
+                len(result.interfaces),
+            ]
+        )
+    save_result(
+        "ablation_neighborhood",
+        render_table(
+            ["Neighborhood TTL", "Probes", "Skipped", "Interfaces"],
+            rows,
+            title="Ablation: Yarrp6 neighborhood mode (tum-z64, EU-NET, 2 kpps)",
+        ),
+    )
+
+    baseline = out[None]
+    # Each wider neighborhood skips more probes.
+    skipped = [out[limit].summary.get("skipped", 0) for limit in LIMITS[1:]]
+    assert skipped == sorted(skipped)
+    assert skipped[0] > 0
+    for limit in LIMITS[1:]:
+        result = out[limit]
+        assert result.sent < baseline.sent
+        # Discovery cost stays small: near hops are few.
+        assert len(result.interfaces) >= len(baseline.interfaces) * 0.9

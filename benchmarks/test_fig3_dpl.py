@@ -1,0 +1,78 @@
+"""Figure 3 — Discriminating Prefix Length distributions.
+
+(a) per-set DPL CDFs — how clustered each z64 target set is on its own;
+(b) the same sets measured inside the combined list — interleaving from
+other sets can only raise DPLs ("cleaving"), and which sets shift
+quantifies their complementarity.
+"""
+
+from repro.addrs import dpl_against, dpl_cdf, dpl_map
+from repro.analysis import render_cdf
+
+Z64_SETS = (
+    "caida-z64",
+    "dnsdb-z64",
+    "fiebig-z64",
+    "fdns_any-z64",
+    "cdn-k256-z64",
+    "cdn-k32-z64",
+    "6gen-z64",
+    "tum-z64",
+)
+
+BINS = list(range(24, 65, 4))
+
+
+def build(suite):
+    alone = {}
+    combined_universe = []
+    for name in Z64_SETS:
+        combined_universe.extend(suite[name].addresses)
+    together = {}
+    for name in Z64_SETS:
+        addresses = suite[name].addresses
+        alone[name] = dpl_cdf(
+            [min(value, 64) for value in dpl_map(addresses).values()], BINS
+        )
+        combined_dpls = dpl_against(addresses, combined_universe)
+        together[name] = dpl_cdf(
+            [min(value, 64) for value in combined_dpls.values()], BINS
+        )
+    return alone, together
+
+
+def test_fig3(suite, save_result, benchmark):
+    alone, together = benchmark.pedantic(build, args=(suite,), rounds=1, iterations=1)
+    save_result(
+        "fig3a_dpl_individual",
+        "Figure 3a: DPL distribution per target set (CDF)\n"
+        + render_cdf(alone, "DPL"),
+    )
+    save_result(
+        "fig3b_dpl_combined",
+        "Figure 3b: DPL distribution when sets are combined (CDF)\n"
+        + render_cdf(together, "DPL"),
+    )
+
+    def fraction_at(cdf, edge):
+        return dict(cdf)[edge]
+
+    # Fiebig is extremely clustered: most targets at DPL 64 (paper: >70%
+    # of fiebig-z64 addresses have DPL 64, i.e. CDF at 60 is small).
+    assert fraction_at(alone["fiebig-z64"], 60) < 0.5
+    # CAIDA is the opposite: mostly low DPLs (breadth, no depth).
+    assert fraction_at(alone["caida-z64"], 48) > 0.5
+    # Combination can only shift CDFs left-to-right (DPLs rise): the
+    # cumulative fraction at every bin is <= the standalone fraction.
+    for name in Z64_SETS:
+        for (edge, frac_alone), (_, frac_together) in zip(alone[name], together[name]):
+            assert frac_together <= frac_alone + 1e-9, (name, edge)
+    # Fiebig's distribution barely moves (nothing interleaves with it).
+    assert abs(
+        fraction_at(together["fiebig-z64"], 60) - fraction_at(alone["fiebig-z64"], 60)
+    ) < 0.1
+    # CAIDA's shifts right visibly (others cleave its sparse targets).
+    assert (
+        fraction_at(alone["caida-z64"], 48) - fraction_at(together["caida-z64"], 48)
+        > 0.1
+    )

@@ -1,0 +1,100 @@
+"""Figure 6 — Selected result features of the Yarrp6 campaigns.
+
+The result-side companion to Figure 2: per z64 campaign, the share of
+traces, discovered interfaces, interface-covering BGP prefixes and ASNs,
+with the inset isolating the prefixes/ASNs each campaign discovered
+exclusively (most are shared by two or more campaigns).
+"""
+
+from repro.analysis import format_count, render_table
+from repro.analysis.targetsets import characterize_results
+from benchmarks.conftest import VANTAGES
+
+Z64_SETS = (
+    "caida-z64",
+    "dnsdb-z64",
+    "fiebig-z64",
+    "fdns_any-z64",
+    "tum-z64",
+    "cdn-k256-z64",
+    "cdn-k32-z64",
+    "6gen-z64",
+)
+
+
+def build(world, campaigns):
+    merged = {}
+    for set_name in Z64_SETS:
+        results = [campaigns.get(vantage, set_name) for vantage in VANTAGES]
+        merged[set_name] = _merge(results)
+    features = characterize_results(merged, world.truth.registry)
+    return merged, features
+
+
+def _merge(results):
+    from repro.prober.campaign import CampaignResult
+
+    interfaces = set()
+    records = []
+    sent = 0
+    for result in results:
+        interfaces |= result.interfaces
+        records.extend(result.records)
+        sent += result.sent
+    return CampaignResult(
+        name="merged",
+        vantage="ALL",
+        prober="yarrp6",
+        pps=1000,
+        targets=sum(result.targets for result in results),
+        sent=sent,
+        records=records,
+        interfaces=interfaces,
+        curve=[],
+        response_labels={},
+        summary={},
+        duration_us=0,
+    )
+
+
+def test_fig6(world, campaigns, save_result, benchmark):
+    merged, features = benchmark.pedantic(
+        build, args=(world, campaigns), rounds=1, iterations=1
+    )
+    rows = []
+    for set_name in Z64_SETS:
+        summary = features[set_name]
+        rows.append(
+            [
+                set_name,
+                format_count(merged[set_name].sent),
+                format_count(len(summary.interfaces)),
+                format_count(len(summary.exclusive_interfaces)),
+                format_count(len(summary.bgp_prefixes)),
+                format_count(len(summary.exclusive_prefixes)),
+                format_count(len(summary.asns)),
+                format_count(len(summary.exclusive_asns)),
+            ]
+        )
+    save_result(
+        "fig6_result_features",
+        render_table(
+            ["Campaign", "Traces", "IntAddrs", "Excl Int", "Pfx", "Excl Pfx", "ASNs", "Excl ASNs"],
+            rows,
+            title="Figure 6: result features of z64 Yarrp6 campaigns",
+        ),
+    )
+
+    # cdn-k32 and tum contribute the two largest exclusive-interface
+    # shares (Section 5.1).
+    exclusive = {
+        name: len(features[name].exclusive_interfaces) for name in Z64_SETS
+    }
+    top_two = sorted(exclusive, key=exclusive.get, reverse=True)[:2]
+    assert set(top_two) == {"cdn-k32-z64", "tum-z64"}
+    # Interface ASN coverage is mostly shared across campaigns: exclusive
+    # ASNs are a small minority for every set.
+    for name in Z64_SETS:
+        assert len(features[name].exclusive_asns) <= max(
+            5, 0.3 * len(features[name].asns)
+        ), name

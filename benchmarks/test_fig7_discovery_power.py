@@ -1,0 +1,88 @@
+"""Figure 7 — Address discovery power per z64 target set.
+
+Unique interface addresses discovered as a function of probes emitted
+(log-log in the paper) from the EU-NET vantage.  The paper's reading:
+the BGP-guided caida strategy does well initially, then exhausts
+(breadth without depth); random flattens precipitously; 6gen mirrors
+random with a fixed offset; tum and cdn-k32 keep discovering nearly
+linearly — the most powerful lists.
+"""
+
+from repro.analysis import discovery_curve, render_series
+
+Z64_SETS = (
+    "random-z64",
+    "6gen-z64",
+    "caida-z64",
+    "cdn-k256-z64",
+    "cdn-k32-z64",
+    "dnsdb-z64",
+    "fdns_any-z64",
+    "fiebig-z64",
+    "tum-z64",
+)
+
+VANTAGE = "EU-NET"
+
+
+def build(campaigns):
+    return {name: campaigns.get(VANTAGE, name) for name in Z64_SETS}
+
+
+def test_fig7(campaigns, save_result, benchmark):
+    results = benchmark.pedantic(build, args=(campaigns,), rounds=1, iterations=1)
+    blocks = []
+    for name in Z64_SETS:
+        curve = discovery_curve(results[name], points=24)
+        blocks.append(
+            render_series(name, curve, "probes", "unique interfaces")
+        )
+    save_result(
+        "fig7_discovery_power",
+        "Figure 7: discovery power per z64 set, vantage %s\n\n" % VANTAGE
+        + "\n\n".join(blocks),
+    )
+
+    final = {name: len(results[name].interfaces) for name in Z64_SETS}
+    probes = {name: results[name].sent for name in Z64_SETS}
+
+    # cdn-k32 and tum finish on top.
+    ranked = sorted(final, key=final.get, reverse=True)
+    assert set(ranked[:2]) == {"cdn-k32-z64", "tum-z64"}
+
+    # caida performs well initially but exhausts early: its final count
+    # is a small fraction of the winners' despite early efficiency.
+    assert final["caida-z64"] < final["cdn-k32-z64"] / 3
+
+    def discovery_at(name, budget):
+        best = 0
+        for sent, unique in results[name].curve:
+            if sent <= budget:
+                best = unique
+            else:
+                break
+        return best
+
+    early_budget = max(1000, probes["caida-z64"] // 3)
+    # Early on, caida's per-probe efficiency beats random's.
+    assert discovery_at("caida-z64", early_budget) > discovery_at(
+        "random-z64", early_budget
+    )
+
+    # random flattens: the second half of its probes yields little.
+    random_mid = discovery_at("random-z64", probes["random-z64"] // 2)
+    assert final["random-z64"] < random_mid * 1.6
+
+    # tum and cdn-k32 keep a near-linear discovery rate: the second half
+    # of probing still contributes substantially.
+    for name in ("tum-z64", "cdn-k32-z64"):
+        mid = discovery_at(name, probes[name] // 2)
+        assert final[name] > mid * 1.5, name
+
+    # 6gen flattens like random but finishes well above it (the paper's
+    # fixed-offset observation; in our world the offset accrues over the
+    # run rather than at the start — 6gen's clusters revisit shared
+    # transit early, see EXPERIMENTS.md).
+    assert final["6gen-z64"] > final["random-z64"] * 2
+    sixgen_mid = discovery_at("6gen-z64", probes["6gen-z64"] // 2)
+    assert final["6gen-z64"] < sixgen_mid * 2  # flattening tail

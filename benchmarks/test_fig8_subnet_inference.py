@@ -1,0 +1,106 @@
+"""Figure 8 — Subnets inferred by path divergence.
+
+Runs discoverByPathDiv (with the paper's conservative parameters and the
+registry/equivalent-ASN augmentation) over each z64 campaign's traces and
+over all campaigns combined: (a) the CDF of inferred minimum subnet
+prefix lengths per target set; (b) counts per length, plus the IA-hack
+/64 confirmations plotted at 64.  The paper's reading: a set's inference
+power is governed by its targets' DPLs (Figure 3a), so the clustered
+sets (fiebig) reach /64 granularity while BGP-guided sets stop shallow.
+"""
+
+from repro.analysis import (
+    AsnResolver,
+    build_traces,
+    discover_by_path_div,
+    render_cdf,
+    render_table,
+)
+from benchmarks.conftest import VANTAGES
+
+Z64_SETS = (
+    "caida-z64",
+    "cdn-k256-z64",
+    "cdn-k32-z64",
+    "dnsdb-z64",
+    "fdns_any-z64",
+    "fiebig-z64",
+    "6gen-z64",
+    "tum-z64",
+)
+
+BINS = list(range(24, 65, 4))
+
+
+def infer_all(world, campaigns):
+    resolver = AsnResolver(world.truth.registry, world.truth.equivalent_asns)
+    candidates = {}
+    combined_records = []
+    for set_name in Z64_SETS:
+        records = []
+        for vantage in VANTAGES:
+            records.extend(campaigns.get(vantage, set_name).records)
+        combined_records.extend(records)
+        traces = build_traces(records)
+        candidates[set_name] = discover_by_path_div(traces, resolver)
+    candidates["combined"] = discover_by_path_div(
+        build_traces(combined_records), resolver
+    )
+    return candidates
+
+
+def test_fig8(world, campaigns, save_result, benchmark):
+    candidates = benchmark.pedantic(
+        infer_all, args=(world, campaigns), rounds=1, iterations=1
+    )
+    cdfs = {
+        name: result.length_cdf(BINS)
+        for name, result in candidates.items()
+        if result.candidate_prefixes
+    }
+    save_result(
+        "fig8a_subnet_cdf",
+        "Figure 8a: inferred minimum subnet prefix length (CDF)\n"
+        + render_cdf(cdfs, "len"),
+    )
+    rows = []
+    for name, result in candidates.items():
+        histogram = result.length_histogram()
+        rows.append(
+            [
+                name,
+                len(result.candidate_prefixes),
+                sum(count for length, count in histogram.items() if length >= 56),
+                len(result.ia_subnets),
+                result.same64_last_hop,
+            ]
+        )
+    save_result(
+        "fig8b_subnet_counts",
+        render_table(
+            ["Set", "Candidates", ">=56", "IA /64s", "last-hop-in-/64"],
+            rows,
+            title="Figure 8b: inferred subnet counts per set (+ IA hack)",
+        ),
+    )
+
+    combined = candidates["combined"]
+    assert combined.candidate_prefixes, "no subnets inferred at all"
+    # The IA hack confirms /64s (the dots at 64 in the paper's plot).
+    assert combined.same64_last_hop > 0
+    assert combined.ia_subnets
+
+    # Inference power follows target clustering: fiebig (deep DPLs)
+    # reaches finer subnets than caida (shallow DPLs).
+    def finest(name):
+        prefixes = candidates[name].candidate_prefixes
+        return max((prefix.length for prefix in prefixes), default=0)
+
+    assert finest("fiebig-z64") >= finest("caida-z64")
+    # cdn-k32 infers subnets inside client space.
+    assert candidates["cdn-k32-z64"].candidate_prefixes
+    # The combined set has at least as many candidates as any single set.
+    for name in Z64_SETS:
+        assert len(combined.candidate_prefixes) >= len(
+            candidates[name].candidate_prefixes
+        ) * 0.9, name

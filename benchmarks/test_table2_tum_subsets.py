@@ -1,0 +1,38 @@
+"""Table 2 — TUM Seed Subsets.
+
+Regenerates the TUM collection's per-file inventory and the total/unique
+accounting (the real collection's union is far smaller than the sum of
+its parts because the subsets overlap heavily).
+"""
+
+from repro.analysis import format_count, render_table
+from repro.seeds import tum_seed, tum_subsets
+
+
+def build_rows(world):
+    subsets = tum_subsets(world)
+    union = tum_seed(world)
+    rows = [
+        [name, format_count(len(values))]
+        for name, values in sorted(subsets.items())
+    ]
+    total = sum(len(values) for values in subsets.values())
+    rows.append(["Total", format_count(total)])
+    rows.append(["Total Unique", format_count(len(union))])
+    return rows, subsets, union
+
+
+def test_table2(world, save_result, benchmark):
+    rows, subsets, union = benchmark.pedantic(
+        build_rows, args=(world,), rounds=1, iterations=1
+    )
+    save_result(
+        "table2_tum_subsets",
+        render_table(["Subset", "# Addresses"], rows, title="Table 2: TUM Seed Subsets"),
+    )
+    # Subsets overlap: the union is strictly smaller than the sum.
+    total = sum(len(values) for values in subsets.values())
+    assert len(union) < total
+    # The traceroute subset exists and contributes router addresses.
+    assert len(subsets["traceroute"]) > 0
+    assert {"rapid7-dnsany", "ct", "caida-dnsnames", "openipmap"} <= set(subsets)

@@ -1,0 +1,84 @@
+"""Table 5 — Target Set Properties.
+
+Characterizes every target set at z48 and z64: unique/exclusive targets,
+routed targets, BGP prefixes, ASNs, and 6to4 counts.  The Combined row
+unions the six independent sources; exclusivity is computed without the
+derived collections (Combined, TUM) so constituents keep their credit,
+exactly as the paper does.
+"""
+
+from repro.analysis import format_count, render_table
+from repro.analysis.targetsets import characterize_target_sets
+from repro.hitlist import combine
+
+INDEPENDENT = ("caida", "dnsdb", "fiebig", "fdns_any", "cdn-k256", "cdn-k32", "6gen")
+
+
+def build_table(world, suite):
+    sets = dict(suite)
+    combined = combine(
+        "combined-z64", [suite["%s-z64" % name] for name in INDEPENDENT]
+    )
+    sets["combined-z64"] = combined
+    exclusive_among = [
+        "%s-z%d" % (name, level) for name in INDEPENDENT for level in (48, 64)
+    ]
+    features = characterize_target_sets(sets, world.truth.bgp, exclusive_among)
+    return features
+
+
+def test_table5(world, suite, save_result, benchmark):
+    features = benchmark.pedantic(
+        build_table, args=(world, suite), rounds=1, iterations=1
+    )
+    order = sorted(features)
+    rows = []
+    for name in order:
+        summary = features[name].as_dict()
+        rows.append(
+            [
+                name,
+                format_count(summary["unique_targets"]),
+                format_count(summary["exclusive_targets"]),
+                format_count(summary["routed_targets"]),
+                format_count(summary["bgp_prefixes"]),
+                format_count(summary["exclusive_prefixes"]),
+                format_count(summary["asns"]),
+                format_count(summary["exclusive_asns"]),
+                format_count(summary["sixtofour"]),
+            ]
+        )
+    save_result(
+        "table5_target_sets",
+        render_table(
+            ["Name", "Uniq", "Excl", "Routed", "BGP Pfx", "Excl Pfx", "ASNs", "Excl ASNs", "6to4"],
+            rows,
+            title="Table 5: Target Set Properties",
+        ),
+    )
+
+    def f(name):
+        return features[name]
+
+    # z64 never has fewer targets than z48 for the same source.
+    for name in INDEPENDENT:
+        assert f("%s-z64" % name).unique_targets >= f("%s-z48" % name).unique_targets
+    # CAIDA covers (nearly) every BGP prefix but carries few targets:
+    # breadth without depth.
+    caida = f("caida-z64")
+    assert len(caida.bgp_prefixes) > 0.8 * len(world.truth.bgp.prefixes())
+    # Fiebig is big but concentrated: far fewer ASNs than CAIDA reaches.
+    assert len(f("fiebig-z64").asns) < len(caida.asns)
+    # Fiebig has a significant unrouted share (registry-only infra).
+    fiebig = f("fiebig-z64")
+    assert fiebig.routed_targets < fiebig.unique_targets
+    # FDNS carries the 6to4 noise; CAIDA doesn't.
+    assert f("fdns_any-z64").sixtofour > 0
+    assert caida.sixtofour <= 1  # 2002::/16's own ::1 at most
+    # Most cdn-k32 targets are exclusive (nobody else sees client space).
+    cdn = f("cdn-k32-z64")
+    assert cdn.exclusive_targets > cdn.unique_targets * 0.5
+    # The combined set dominates every constituent.
+    combined = f("combined-z64")
+    for name in INDEPENDENT:
+        assert combined.unique_targets >= f("%s-z64" % name).unique_targets

@@ -1,0 +1,203 @@
+"""Table 7 — Aggregate Yarrp6 campaign results.
+
+The full grid: every target set (9 sources x z48/z64) probed from all
+three vantages at 1 kpps with fill mode, reverse-sorted by interface
+yield.  Columns follow the paper: traces, targets, interface addresses,
+exclusive interfaces, BGP prefixes / ASNs reached (with exclusives),
+reach-target fraction, path-length percentiles, EUI-64 interface counts
+and their path-offset summary.  Per-vantage aggregate rows reproduce the
+vantage comparison (US-EDU-2's depressed yield, Section 5.3).
+"""
+
+from collections import defaultdict
+
+from repro.analysis import (
+    build_traces,
+    eui64_interfaces,
+    eui64_path_offsets,
+    eui64_share,
+    format_count,
+    offset_summary,
+    oui_concentration,
+    path_length_stats,
+    reach_fraction,
+    render_table,
+)
+from repro.analysis.targetsets import characterize_results
+from benchmarks.conftest import GRID_SETS, VANTAGES
+
+
+def aggregate_rows(world, suite, campaigns):
+    grid = campaigns.grid()
+    # Per-set aggregation across vantages.
+    per_set = {}
+    for set_name in GRID_SETS:
+        results = [grid[(vantage, set_name)] for vantage in VANTAGES]
+        interfaces = set()
+        records = []
+        traces = 0
+        sent = 0
+        for result in results:
+            interfaces |= result.interfaces
+            records.extend(result.records)
+            traces += result.traces
+            sent += result.sent
+        per_set[set_name] = {
+            "interfaces": interfaces,
+            "records": records,
+            "traces": traces,
+            "sent": sent,
+            "targets": len(suite[set_name]),
+        }
+    return grid, per_set
+
+
+def test_table7(world, suite, campaigns, save_result, benchmark):
+    grid, per_set = benchmark.pedantic(
+        aggregate_rows, args=(world, suite, campaigns), rounds=1, iterations=1
+    )
+    features = characterize_results(
+        {name: _as_result(stats) for name, stats in per_set.items()},
+        world.truth.registry,
+    )
+
+    rows = []
+    union_interfaces = set()
+    for set_name in sorted(
+        per_set, key=lambda name: len(per_set[name]["interfaces"]), reverse=True
+    ):
+        stats = per_set[set_name]
+        union_interfaces |= stats["interfaces"]
+        traces = build_traces(stats["records"])
+        median, _, p95 = path_length_stats(traces.values())
+        eui = eui64_interfaces(stats["interfaces"])
+        # Offsets are per-vantage: merging vantages with different path
+        # lengths into one trace would skew positions.
+        offsets = []
+        for vantage in VANTAGES:
+            offsets.extend(eui64_path_offsets(grid[(vantage, set_name)]))
+        p5_off, median_off = offset_summary(offsets)
+        summary = features[set_name]
+        rows.append(
+            [
+                set_name,
+                format_count(stats["sent"]),
+                format_count(stats["targets"]),
+                format_count(len(stats["interfaces"])),
+                format_count(len(summary.exclusive_interfaces)),
+                format_count(len(summary.bgp_prefixes)),
+                format_count(len(summary.asns)),
+                "%.0f%%" % (100 * reach_fraction(traces.values())),
+                "%d (%d)" % (p95, median),
+                "%s %.0f%%"
+                % (format_count(len(eui)), 100 * eui64_share(stats["interfaces"])),
+                "%d (%d)" % (p5_off, median_off),
+            ]
+        )
+
+    # Per-vantage aggregate rows (the paper's top block).
+    vantage_rows = []
+    for vantage in VANTAGES:
+        interfaces = set()
+        records = []
+        sent = 0
+        traces_count = 0
+        for set_name in GRID_SETS:
+            result = grid[(vantage, set_name)]
+            interfaces |= result.interfaces
+            records.extend(result.records)
+            sent += result.sent
+            traces_count += result.traces
+        traces = build_traces(records)
+        median, _, p95 = path_length_stats(traces.values())
+        vantage_rows.append(
+            [
+                vantage,
+                format_count(sent),
+                format_count(traces_count),
+                format_count(len(interfaces)),
+                "%.0f%%" % (100 * reach_fraction(traces.values())),
+                "%d (%d)" % (p95, median),
+                "%.0f%%" % (100 * eui64_share(interfaces)),
+            ]
+        )
+
+    save_result(
+        "table7_campaigns",
+        render_table(
+            [
+                "Campaign",
+                "Probes",
+                "Targets",
+                "IntAddrs",
+                "Excl",
+                "BGP Pfx",
+                "ASNs",
+                "Reach",
+                "PathLen p95(med)",
+                "EUI-64",
+                "Off p5(med)",
+            ],
+            rows,
+            title="Table 7: aggregate Yarrp6 campaigns (3 vantages, fill mode)",
+        )
+        + "\n\n"
+        + render_table(
+            ["Vantage", "Probes", "Traces", "IntAddrs", "Reach", "PathLen", "EUI-64"],
+            vantage_rows,
+            title="Per-vantage aggregates",
+        ),
+    )
+
+    interfaces_of = {name: len(stats["interfaces"]) for name, stats in per_set.items()}
+    # cdn-k32-z64 and tum-z64 are the top two discoverers, in that order.
+    ranked = sorted(interfaces_of, key=interfaces_of.get, reverse=True)
+    assert set(ranked[:2]) == {"cdn-k32-z64", "tum-z64"}
+    assert interfaces_of["cdn-k32-z64"] >= interfaces_of["tum-z64"]
+    # They are complementary: each has substantial exclusive discoveries.
+    assert len(features["cdn-k32-z64"].exclusive_interfaces) > 0.3 * interfaces_of["cdn-k32-z64"]
+    assert len(features["tum-z64"].exclusive_interfaces) > 0.2 * interfaces_of["tum-z64"]
+    # ...revealing different CPE fleets: their EUI-64 discoveries come
+    # from different manufacturers/ISPs (minimal overlap).
+    cdn_eui = set(eui64_interfaces(per_set["cdn-k32-z64"]["interfaces"]))
+    tum_eui = set(eui64_interfaces(per_set["tum-z64"]["interfaces"]))
+    if cdn_eui and tum_eui:
+        overlap = len(cdn_eui & tum_eui) / min(len(cdn_eui), len(tum_eui))
+        assert overlap < 0.2
+    # EUI-64 interfaces overall are a large share, concentrated in two
+    # OUIs, and sit at the ends of paths.
+    assert eui64_share(union_interfaces) > 0.25
+    assert oui_concentration(union_interfaces, top=2) > 0.9
+    # caida has breadth (many ASNs) but low absolute discovery.
+    assert len(features["caida-z64"].asns) > 0.7 * len(features["tum-z64"].asns)
+    assert interfaces_of["caida-z64"] < interfaces_of["cdn-k32-z64"] / 3
+    # US-EDU-2 yields fewer interfaces than the other vantages (its long,
+    # aggressively rate-limited premise path).
+    per_vantage = {row[0]: row for row in vantage_rows}
+    as_int = lambda text: float(text.rstrip("Mk")) * (
+        1_000_000 if text.endswith("M") else 1_000 if text.endswith("k") else 1
+    )
+    assert as_int(per_vantage["US-EDU-2"][3]) <= as_int(per_vantage["EU-NET"][3])
+    assert as_int(per_vantage["US-EDU-2"][3]) <= as_int(per_vantage["US-EDU-1"][3])
+
+
+def _as_result(stats):
+    """Adapt an aggregated stats dict to the CampaignResult surface the
+    analysis helpers need."""
+    from repro.prober.campaign import CampaignResult
+
+    return CampaignResult(
+        name="agg",
+        vantage="ALL",
+        prober="yarrp6",
+        pps=1000,
+        targets=stats["targets"],
+        sent=stats["sent"],
+        records=stats["records"],
+        interfaces=set(stats["interfaces"]),
+        curve=[],
+        response_labels={},
+        summary={},
+        duration_us=0,
+        traces=stats["traces"],
+    )

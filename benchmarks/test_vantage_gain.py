@@ -1,0 +1,51 @@
+"""Section 7.2 (future work) — what do additional vantages buy?
+
+The paper plans to "leverage our methodology across a large number of
+vantages".  Using the Table 7 grid, this bench quantifies the plan on
+the bench world: per-vantage discovery, pairwise overlap, and the
+greedy max-coverage marginal-gain curve.  Expected shape: vantages
+overlap heavily on core topology (every path crosses the backbone) yet
+each contributes some exclusive periphery — diminishing but nonzero
+returns.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.vantages import best_order, interfaces_by_vantage, overlap_matrix
+from benchmarks.conftest import GRID_SETS, VANTAGES
+
+
+def build(campaigns):
+    results = [
+        campaigns.get(vantage, set_name)
+        for vantage in VANTAGES
+        for set_name in GRID_SETS
+        if set_name.endswith("z64")
+    ]
+    return interfaces_by_vantage(results)
+
+
+def test_vantage_gain(campaigns, save_result, benchmark):
+    grouped = benchmark.pedantic(build, args=(campaigns,), rounds=1, iterations=1)
+    order = best_order(grouped)
+    matrix = overlap_matrix(grouped)
+    rows = [[name, fresh, cumulative] for name, fresh, cumulative in order]
+    overlap_rows = [
+        ["%s ~ %s" % pair, "%.2f" % value] for pair, value in sorted(matrix.items())
+    ]
+    save_result(
+        "vantage_gain",
+        render_table(
+            ["Vantage (greedy order)", "New interfaces", "Cumulative"],
+            rows,
+            title="Section 7.2: marginal gain of additional vantages (z64 suite)",
+        )
+        + "\n\n"
+        + render_table(["Pair", "Jaccard"], overlap_rows, title="Pairwise overlap"),
+    )
+
+    # Vantages overlap heavily (same core) ...
+    assert all(value > 0.5 for value in matrix.values())
+    # ... but every additional vantage still contributes something.
+    assert all(fresh > 0 for _, fresh, _ in order[1:])
+    # Diminishing returns: later additions contribute less than the first.
+    assert order[0][1] > order[-1][1]

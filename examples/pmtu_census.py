@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Finding the tunnels: a path-MTU census of the simulated internet.
+
+IPv6 transition mechanisms (6to4 relays at the 1280-byte floor, 6in4
+tunnels at 1480) leave an MTU fingerprint on every path that crosses
+them.  This example runs classic PMTUD (full-size probe, read the
+Packet Too Big, retry smaller) across a target sample and tabulates the
+result — then names the bottleneck hops.
+
+Run:  python examples/pmtu_census.py
+"""
+
+from collections import Counter
+
+from repro.addrs import format_address
+from repro.netsim import Internet, InternetConfig
+from repro.prober.pmtud import PMTUDConfig, discover_pmtu, mtu_census
+
+
+def main() -> None:
+    internet = Internet(
+        config=InternetConfig(
+            n_edge=80, cpe_customers_per_isp=300, seed=31, tunnel_fraction=0.15
+        )
+    )
+    targets = []
+    for subnet in internet.truth.subnets.values():
+        if subnet.host_iids:
+            targets.append(subnet.host_addresses()[0])
+        if len(targets) >= 120:
+            break
+
+    results = discover_pmtu(internet, "US-EDU-1", targets, PMTUDConfig())
+    census = mtu_census(results)
+    total = sum(census.values())
+    print("path MTU census over %d targets (%d resolved):" % (len(targets), total))
+    for mtu in sorted(census, reverse=True):
+        share = census[mtu] / total
+        label = {1500: "native", 1480: "6in4 tunnel", 1280: "6to4 floor"}.get(mtu, "?")
+        print(
+            "  %4d bytes  %4d paths  %5.1f%%  %-12s %s"
+            % (mtu, census[mtu], 100 * share, label, "#" * census[mtu])
+        )
+
+    bottlenecks = Counter(
+        result.bottleneck_hop
+        for result in results.values()
+        if result.bottleneck_hop is not None
+    )
+    if bottlenecks:
+        print("\nbusiest bottleneck hops (tunnel ingresses):")
+        for hop, count in bottlenecks.most_common(5):
+            print("  %-40s constrains %d paths" % (format_address(hop), count))
+
+    rounds = Counter(result.rounds for result in results.values())
+    print("\nconvergence: %s" % ", ".join(
+        "%d paths in %d round%s" % (count, r, "s" if r > 1 else "")
+        for r, count in sorted(rounds.items())
+    ))
+
+
+if __name__ == "__main__":
+    main()

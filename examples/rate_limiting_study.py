@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Why randomize?  Sequential vs Yarrp6 under ICMPv6 rate limiting.
+
+Reproduces the Figure 5 experiment interactively: the same target list is
+probed with a scamper-style sequential tracer and with Yarrp6 at rising
+packet rates, and the per-hop response fraction is plotted as text bars.
+Watch the sequential tracer's first hops go dark at 1k+ pps while the
+randomized walk stays bright.
+
+Run:  python examples/rate_limiting_study.py
+"""
+
+import random
+
+from repro.analysis import per_hop_responsiveness
+from repro.hitlist import fixediid, zn
+from repro.netsim import Internet, InternetConfig
+from repro.prober import run_sequential, run_yarrp6
+
+MAX_TTL = 16
+RATES = (20, 1000, 2000)
+
+
+def bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    internet = Internet(
+        config=InternetConfig(n_edge=120, cpe_customers_per_isp=800, seed=7)
+    )
+
+    # An Ark-style list: the fixed-IID target plus several random /64s
+    # per advertised prefix, so the per-TTL waves are long enough to
+    # drain token buckets.
+    rng = random.Random(1)
+    prefixes = zn(
+        [p for p, _ in internet.truth.bgp.items() if p.length <= 48], 48
+    )
+    targets = list(fixediid(prefixes))
+    for prefix in prefixes:
+        for _ in range(8):
+            targets.append(prefix.random_subnet(64, rng).base | 0x1234)
+    targets = sorted(set(targets))
+    print("probing %d targets from US-EDU-1\n" % len(targets))
+
+    for rate in RATES:
+        yarrp = run_yarrp6(internet, "US-EDU-1", targets, pps=rate, max_ttl=MAX_TTL)
+        seq = run_sequential(internet, "US-EDU-1", targets, pps=rate, max_ttl=MAX_TTL)
+        yarrp_hops = dict(per_hop_responsiveness(yarrp, MAX_TTL))
+        seq_hops = dict(per_hop_responsiveness(seq, MAX_TTL))
+        print("=== %d pps ===" % rate)
+        print("hop  %-32s %-32s" % ("sequential", "yarrp6 (randomized)"))
+        for hop in range(1, 9):
+            print(
+                " %2d  %s %.2f   %s %.2f"
+                % (hop, bar(seq_hops[hop]), seq_hops[hop], bar(yarrp_hops[hop]), yarrp_hops[hop])
+            )
+        print(
+            "interfaces: sequential %d, yarrp6 %d\n"
+            % (len(seq.interfaces), len(yarrp.interfaces))
+        )
+
+    print(
+        "The mandated ICMPv6 token buckets (RFC 4443) refill at a fixed\n"
+        "rate: the sequential tracer's synchronized per-TTL waves exhaust\n"
+        "them, while the randomized permutation spreads each hop's load\n"
+        "to ~rate/max_ttl packets per second."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Inside Yarrp6: the stateless encoding and the permutation, byte level.
+
+Shows the machinery that makes stateless high-rate probing work:
+
+* the 12-byte payload carrying TTL / timestamp / instance (Figure 4);
+* the checksum "fudge" keeping the transport header constant per target
+  (so per-flow load balancers keep every probe on one path);
+* the target checksum in the source port, catching en-route rewrites;
+* recovery of all probe state from an ICMPv6 Time Exceeded quotation;
+* the keyed permutation that spreads (target, TTL) pairs.
+
+Run:  python examples/stateless_prober_internals.py
+"""
+
+from repro.addrs import format_address, parse
+from repro.packet import icmpv6, ipv6
+from repro.prober import ProbeSchedule, decode_quotation, encode_probe
+
+SOURCE = parse("2001:db8:ffff::100")
+TARGET = parse("2a02:26f0:1:2::1")
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        lines.append(
+            "  %04x  %s" % (offset, " ".join("%02x" % byte for byte in chunk))
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("probe toward %s, TTL 7, t=123456us:" % format_address(TARGET))
+    probe = encode_probe(SOURCE, TARGET, ttl=7, elapsed=123_456)
+    print(hexdump(probe))
+
+    # Constant headers: two probes for the same target differ only in the
+    # hop limit byte and the payload (TTL/elapsed/fudge).
+    other = encode_probe(SOURCE, TARGET, ttl=12, elapsed=999_999)
+    diff = [index for index, (a, b) in enumerate(zip(probe, other)) if a != b]
+    print("\nbytes differing between TTL=7 and TTL=12 probes: %s" % diff)
+    print("  (offset 7 is the IPv6 hop limit; 53+ are payload TTL/time/fudge —")
+    print("   the ICMPv6 checksum at offsets 42-43 is identical by fudge)")
+
+    # A router five hops out lets the hop limit expire and quotes us.
+    error = icmpv6.time_exceeded(probe)
+    reply = ipv6.build_packet(
+        ipv6.IPv6Header(parse("2001:db8:aaaa::1"), SOURCE, 0, ipv6.PROTO_ICMPV6),
+        error.pack(parse("2001:db8:aaaa::1"), SOURCE),
+    )
+    header, payload = ipv6.split_packet(reply)
+    message = icmpv6.ICMPv6Message.unpack(payload)
+    decoded = decode_quotation(message.quotation)
+    print("\nrecovered from the quotation, with zero prober-side state:")
+    print("  target   %s" % format_address(decoded.target))
+    print("  TTL      %d" % decoded.ttl)
+    print("  sent at  %dus  (RTT computable on receipt)" % decoded.elapsed)
+    print("  rewritten en route? %s" % decoded.target_modified)
+
+    # A middlebox rewriting the destination is caught by the address
+    # checksum riding in the source-port field.
+    mangled = bytearray(probe)
+    mangled[39] ^= 0xFF
+    tampered = decode_quotation(bytes(mangled))
+    print("  after destination rewrite: target_modified=%s" % tampered.target_modified)
+
+    # The permutation: every (target, TTL) pair exactly once, shuffled.
+    schedule = ProbeSchedule(n_targets=6, ttl_min=1, ttl_max=4, key=0xBEEF)
+    print("\npermuted walk of a 6-target x TTL 1..4 space:")
+    print(
+        "  "
+        + " ".join("t%d/%d" % (target, ttl) for target, ttl in schedule)
+    )
+    pairs = list(schedule)
+    assert len(set(pairs)) == len(pairs) == 24
+    print("  (24 pairs, each exactly once)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Which hitlist finds the most topology?  (The Figure 7 experiment.)
+
+Builds every synthetic seed source, runs the target pipeline at z64, and
+races the resulting sets against each other from one vantage, printing
+each set's discovery curve and final standing — breadth (BGP/ASN
+coverage) versus depth (subnet-level discovery, EUI-64 CPE).
+
+Run:  python examples/target_power.py
+"""
+
+from repro.analysis import discovery_curve, eui64_share
+from repro.analysis.targetsets import characterize_results
+from repro.hitlist import build_suite
+from repro.netsim import Internet, InternetConfig, build_internet
+from repro.prober import run_yarrp6
+from repro.seeds import build_all_seeds
+
+SETS = (
+    "caida-z64",
+    "fiebig-z64",
+    "fdns_any-z64",
+    "dnsdb-z64",
+    "cdn-k256-z64",
+    "cdn-k32-z64",
+    "6gen-z64",
+    "tum-z64",
+    "random-z64",
+)
+
+
+def main() -> None:
+    built = build_internet(
+        InternetConfig(
+            n_edge=150,
+            cpe_customers_per_isp=4000,
+            leaves_per_alloc=(1, 2),
+            seed=11,
+        )
+    )
+    seeds = build_all_seeds(
+        built, random_count=3000, sixgen_budget=8000, cdn_k32=2, cdn_k256=16
+    )
+    suite = build_suite(
+        {name: seed_list.items for name, seed_list in seeds.items()}, levels=(64,)
+    )
+
+    results = {}
+    for name in SETS:
+        internet = Internet(built)
+        results[name] = run_yarrp6(
+            internet, "EU-NET", suite[name].addresses, pps=1000, max_ttl=16
+        )
+
+    features = characterize_results(results, built.truth.registry)
+    print(
+        "%-14s %8s %8s %7s %6s %6s %7s"
+        % ("set", "targets", "probes", "ifaces", "pfx", "asns", "eui64")
+    )
+    for name in sorted(SETS, key=lambda n: len(results[n].interfaces), reverse=True):
+        result = results[name]
+        print(
+            "%-14s %8d %8d %7d %6d %6d %6.0f%%"
+            % (
+                name,
+                result.targets,
+                result.sent,
+                len(result.interfaces),
+                len(features[name].bgp_prefixes),
+                len(features[name].asns),
+                100 * eui64_share(result.interfaces),
+            )
+        )
+
+    print("\ndiscovery curves (probes -> unique interfaces):")
+    for name in ("caida-z64", "random-z64", "cdn-k32-z64", "tum-z64"):
+        points = discovery_curve(results[name], points=8)
+        series = ", ".join("%d:%d" % (sent, unique) for sent, unique in points)
+        print("  %-14s %s" % (name, series))
+
+    print(
+        "\nReading: BGP-guided breadth (caida) exhausts quickly; the\n"
+        "client-space and collection lists (cdn-k32, tum) keep finding\n"
+        "new routers — and different CPE fleets — all the way down."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,230 @@
+"""Alias resolution: fragment-Identification sequence clustering.
+
+Takes speedtrap samples — (interface address, time, Identification) —
+and groups interfaces that share one router-wide counter.  Two address
+sets belong together when their interleaved samples form a single
+monotonic sequence whose slope stays within a velocity tolerance; the
+clusterer sorts candidates by estimated counter *intercept* so that only
+plausible neighbours are pairwise-tested (Luckie et al.'s approach,
+adapted), then merges with union–find.
+
+The resolved clusters turn the paper's interface-level results into
+router-level topology (Section 7.2's future work), and the simulator's
+ground truth grades precision/recall exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from ..prober.speedtrap import IdSample
+
+_WRAP = 1 << 32
+
+
+@dataclass(frozen=True)
+class AliasParams:
+    """Sequence-test tolerances."""
+
+    #: Maximum plausible counter velocity (IDs per second): probing
+    #: contributes ~1 per sample; background drift adds the rest.
+    max_velocity: float = 50.0
+    #: Slack added to every gap bound (scheduling jitter, bursts).
+    slack: int = 10
+    #: How many intercept-sorted neighbours each address is tested against.
+    neighbor_window: int = 8
+    #: Minimum samples per address to participate at all.
+    min_samples: int = 2
+    #: Tolerated reply-time reordering: the counter advances at the
+    #: router, but replies from different interfaces ride paths with
+    #: different RTTs, so receive times may invert by up to this much.
+    time_jitter_us: int = 150_000
+
+
+class _UnionFind:
+    def __init__(self, items: Iterable[int]):
+        self._parent = {item: item for item in items}
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def clusters(self) -> List[Set[int]]:
+        groups: Dict[int, Set[int]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), set()).add(item)
+        return list(groups.values())
+
+
+def _unwrap(ids: Sequence[int]) -> List[int]:
+    """Undo 32-bit wraparound in a near-monotonic ID sequence."""
+    result = []
+    offset = 0
+    previous = None
+    for value in ids:
+        if previous is not None and value + offset < previous - _WRAP // 2:
+            offset += _WRAP
+        unwrapped = value + offset
+        result.append(unwrapped)
+        previous = unwrapped
+    return result
+
+
+def sequence_compatible(
+    samples_a: Sequence[IdSample],
+    samples_b: Sequence[IdSample],
+    params: AliasParams = AliasParams(),
+) -> bool:
+    """True when the merged samples could come from one shared counter.
+
+    Ordered by (unwrapped) Identification, the observation times must be
+    non-decreasing up to reply-path jitter, and each ID gap must be
+    explainable by the velocity tolerance over the elapsed time — a
+    random or per-interface counter fails one test or the other.
+    """
+    merged = sorted(
+        list(samples_a) + list(samples_b), key=lambda sample: sample.time_us
+    )
+    ids = _unwrap([sample.identification for sample in merged])
+    order = sorted(range(len(merged)), key=lambda index: ids[index])
+    for position in range(1, len(order)):
+        current = merged[order[position]]
+        previous = merged[order[position - 1]]
+        delta_id = ids[order[position]] - ids[order[position - 1]]
+        if delta_id == 0:
+            # Distinct samples can't share an Identification.
+            return False
+        delta_t = current.time_us - previous.time_us
+        if delta_t < -params.time_jitter_us:
+            # The counter ran backwards in time beyond jitter: not one
+            # counter.
+            return False
+        bound = params.slack + params.max_velocity * max(delta_t, 0) / 1_000_000
+        if delta_id > bound:
+            return False
+    return True
+
+
+def _self_consistent(samples: Sequence[IdSample], params: AliasParams) -> bool:
+    """An address's own samples must form a plausible sequence (guards
+    against responders with per-interface or random counters)."""
+    ordered = sorted(samples, key=lambda sample: sample.time_us)
+    return sequence_compatible(ordered[: len(ordered) // 2], ordered[len(ordered) // 2 :], params)
+
+
+def resolve_aliases(
+    samples: Mapping[int, Sequence[IdSample]],
+    params: AliasParams = AliasParams(),
+) -> List[Set[int]]:
+    """Cluster interface addresses into routers.
+
+    Addresses with too few samples, or whose own samples are not
+    sequence-consistent, come back as singletons.
+    """
+    eligible = {
+        address: sorted(address_samples, key=lambda sample: sample.time_us)
+        for address, address_samples in samples.items()
+        if len(address_samples) >= params.min_samples
+    }
+    eligible = {
+        address: address_samples
+        for address, address_samples in eligible.items()
+        if _self_consistent(address_samples, params)
+    }
+    union = _UnionFind(samples.keys())
+
+    # Sort by estimated counter intercept: aliases sit adjacent.
+    def intercept(address: int) -> float:
+        first = eligible[address][0]
+        ids = _unwrap([sample.identification for sample in eligible[address]])
+        if len(ids) > 1:
+            dt = eligible[address][-1].time_us - first.time_us
+            velocity = (ids[-1] - ids[0]) / dt * 1_000_000 if dt else 0.0
+        else:
+            velocity = 0.0
+        return ids[0] - velocity * first.time_us / 1_000_000
+
+    ordered = sorted(eligible, key=intercept)
+    for index, address in enumerate(ordered):
+        for offset in range(1, params.neighbor_window + 1):
+            if index + offset >= len(ordered):
+                break
+            other = ordered[index + offset]
+            if union.find(address) == union.find(other):
+                continue
+            if sequence_compatible(eligible[address], eligible[other], params):
+                union.union(address, other)
+    return union.clusters()
+
+
+@dataclass
+class AliasAccuracy:
+    """Pairwise precision/recall of resolved clusters against truth."""
+
+    true_pairs: int
+    inferred_pairs: int
+    correct_pairs: int
+
+    @property
+    def precision(self) -> float:
+        return self.correct_pairs / self.inferred_pairs if self.inferred_pairs else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.correct_pairs / self.true_pairs if self.true_pairs else 1.0
+
+
+def _pairs(clusters: Iterable[Iterable[int]]) -> Set[Tuple[int, int]]:
+    result: Set[Tuple[int, int]] = set()
+    for cluster in clusters:
+        members = sorted(cluster)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                result.add((a, b))
+    return result
+
+
+def score_against_truth(
+    clusters: Iterable[Iterable[int]],
+    truth_clusters: Iterable[Iterable[int]],
+) -> AliasAccuracy:
+    """Pairwise comparison: of all address pairs placed together, how many
+    truly share a router (precision), and how many true alias pairs were
+    recovered (recall)?  Truth is restricted to the probed addresses."""
+    inferred = _pairs(clusters)
+    probed: Set[int] = set()
+    for cluster in clusters:
+        probed.update(cluster)
+    truth = {
+        pair
+        for pair in _pairs(truth_clusters)
+        if pair[0] in probed and pair[1] in probed
+    }
+    return AliasAccuracy(
+        true_pairs=len(truth),
+        inferred_pairs=len(inferred),
+        correct_pairs=len(inferred & truth),
+    )
+
+
+def truth_clusters_for(
+    addresses: Iterable[int], router_addresses: Mapping[int, object]
+) -> List[Set[int]]:
+    """Ground-truth alias clusters over the given addresses."""
+    by_router: Dict[int, Set[int]] = {}
+    for address in addresses:
+        router = router_addresses.get(address)
+        if router is None:
+            continue
+        by_router.setdefault(id(router), set()).add(address)
+    return list(by_router.values())

@@ -1,0 +1,111 @@
+"""Response-mix analysis: the ICMPv6 type/code distributions of Tables 3
+and 4 and the protocol comparison of Section 4.2."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..prober.campaign import CampaignResult
+
+#: Row order of Table 4.
+TABLE4_ROWS = (
+    "time exceeded",
+    "no route to destination",
+    "administratively prohibited",
+    "address unreachable",
+    "port unreachable",
+    "reject route to destination",
+)
+
+
+def response_mix(result: CampaignResult) -> Dict[str, float]:
+    """Fraction of responses per ICMPv6 class (echo replies folded into
+    their own row; Table 4 reports percentage of all ICMPv6 received)."""
+    total = sum(result.response_labels.values())
+    if not total:
+        return {}
+    return {
+        label: count / total for label, count in result.response_labels.items()
+    }
+
+
+def other_icmp_count(result: CampaignResult) -> int:
+    """Responses that are not Time Exceeded (Table 3 "Other ICMPv6")."""
+    return sum(
+        count
+        for label, count in result.response_labels.items()
+        if label != "time exceeded"
+    )
+
+
+def other_icmp_rate(result: CampaignResult) -> float:
+    """Non-Time-Exceeded responses per probe (Table 3's normalization:
+    probes reaching deeper into networks elicit more terminal errors)."""
+    return other_icmp_count(result) / result.sent if result.sent else 0.0
+
+
+def transformation_table(
+    results: Mapping[int, CampaignResult]
+) -> List[Dict[str, object]]:
+    """Table 3 rows from campaigns keyed by zn level: probes, other
+    ICMPv6, interfaces, and per-level exclusive interfaces."""
+    from collections import Counter
+
+    owners: Counter = Counter()
+    for result in results.values():
+        for interface in result.interfaces:
+            owners[interface] += 1
+    rows = []
+    for level in sorted(results):
+        result = results[level]
+        exclusive = sum(
+            1 for interface in result.interfaces if owners[interface] == 1
+        )
+        rows.append(
+            {
+                "zn": level,
+                "probes": result.sent,
+                "other_icmpv6": other_icmp_count(result),
+                "other_rate": other_icmp_rate(result),
+                "addrs": len(result.interfaces),
+                "excl_addrs": exclusive,
+            }
+        )
+    return rows
+
+
+def protocol_comparison(
+    results: Mapping[str, CampaignResult]
+) -> Dict[str, Dict[str, float]]:
+    """Section 4.2's transport study: per protocol, interface count and
+    the rate of non-Time-Exceeded responses."""
+    comparison: Dict[str, Dict[str, float]] = {}
+    for protocol, result in results.items():
+        comparison[protocol] = {
+            "interfaces": float(len(result.interfaces)),
+            "responses": float(result.summary.get("received", 0)),
+            "other_icmpv6": float(other_icmp_count(result)),
+            "other_rate": other_icmp_rate(result),
+        }
+    return comparison
+
+
+def per_hop_responsiveness(
+    result: CampaignResult, max_ttl: int
+) -> List[Tuple[int, float]]:
+    """Figure 5: fraction of traces answered at each hop.
+
+    The denominator is the number of traces (targets); hops beyond a
+    path's length naturally decay the fraction, exactly as the paper
+    plots it.
+    """
+    from collections import defaultdict
+
+    responded = defaultdict(set)
+    for record in result.records:
+        if record.is_time_exceeded:
+            responded[record.ttl].add(record.target)
+    return [
+        (ttl, len(responded.get(ttl, ())) / result.targets if result.targets else 0.0)
+        for ttl in range(1, max_ttl + 1)
+    ]

@@ -1,0 +1,122 @@
+"""Trace reconstruction: unordered probe records → per-target paths.
+
+Yarrp6 decouples probing from topology construction (Section 4.1): its
+output is an unordered stream of (target, TTL, responder) records.  This
+module reassembles them into per-target traces for path-level analysis —
+path lengths, reach determination, last-hop identification, and the
+hop sequences subnet inference consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..addrs.address import PREFIX_MASK
+from ..prober.records import ProbeRecord
+
+
+class Trace:
+    """The reassembled view of probing toward one target."""
+
+    __slots__ = ("target", "hops", "terminal_label", "terminal_hop")
+
+    def __init__(self, target: int):
+        self.target = target
+        #: TTL -> responding interface address (Time Exceeded sources).
+        self.hops: Dict[int, int] = {}
+        #: Label of the terminal (non-TE) response, if any.
+        self.terminal_label: Optional[str] = None
+        #: Source of the terminal response, if any.
+        self.terminal_hop: Optional[int] = None
+
+    def add(self, record: ProbeRecord) -> None:
+        if record.is_time_exceeded:
+            # Keep the first responder per TTL (load balancing can, in
+            # principle, alternate; Paris-constant headers make repeats
+            # agree anyway).
+            self.hops.setdefault(record.ttl, record.hop)
+        else:
+            self.terminal_label = record.label
+            self.terminal_hop = record.hop
+
+    @property
+    def max_responded_ttl(self) -> int:
+        """Highest TTL that drew a Time Exceeded (0 when none did)."""
+        return max(self.hops) if self.hops else 0
+
+    @property
+    def path(self) -> List[Optional[int]]:
+        """Hop addresses indexed by TTL-1, None where hops went missing."""
+        length = self.max_responded_ttl
+        return [self.hops.get(ttl) for ttl in range(1, length + 1)]
+
+    @property
+    def path_length(self) -> int:
+        """Measured path length: the last responsive hop index."""
+        return self.max_responded_ttl
+
+    @property
+    def complete(self) -> bool:
+        """True when no hop is missing up to the last responsive one."""
+        return all(hop is not None for hop in self.path)
+
+    @property
+    def reached(self) -> bool:
+        """Did probing reach the target or its LAN?
+
+        True when the target itself answered (echo reply / port
+        unreachable sourced by the target), or when the last Time
+        Exceeded came from inside the target's own /64 — the "IA hack"
+        inference of Section 6.
+        """
+        if self.terminal_hop == self.target:
+            return True
+        if self.last_hop is not None:
+            return self.last_hop & PREFIX_MASK == self.target & PREFIX_MASK
+        return False
+
+    @property
+    def last_hop(self) -> Optional[int]:
+        """The deepest responding interface address (TE sources only)."""
+        if not self.hops:
+            return None
+        return self.hops[max(self.hops)]
+
+    def __repr__(self) -> str:
+        return "Trace(len=%d%s)" % (
+            self.path_length,
+            ", reached" if self.reached else "",
+        )
+
+
+def build_traces(records: Iterable[ProbeRecord]) -> Dict[int, Trace]:
+    """Group records by target into traces."""
+    traces: Dict[int, Trace] = {}
+    for record in records:
+        trace = traces.get(record.target)
+        if trace is None:
+            trace = traces[record.target] = Trace(record.target)
+        trace.add(record)
+    return traces
+
+
+def path_length_stats(traces: Iterable[Trace]) -> Tuple[int, float, int]:
+    """(median, mean, 95th percentile) of measured path lengths over
+    traces that drew at least one response (Table 7 columns)."""
+    lengths = sorted(
+        trace.path_length for trace in traces if trace.path_length > 0
+    )
+    if not lengths:
+        return 0, 0.0, 0
+    median = lengths[len(lengths) // 2]
+    mean = sum(lengths) / len(lengths)
+    p95 = lengths[min(len(lengths) - 1, int(len(lengths) * 0.95))]
+    return median, mean, p95
+
+
+def reach_fraction(traces: Iterable[Trace]) -> float:
+    """Fraction of traces that reached their target (Table 7)."""
+    traces = list(traces)
+    if not traces:
+        return 0.0
+    return sum(1 for trace in traces if trace.reached) / len(traces)

@@ -1,0 +1,13 @@
+"""Command-line interface: the ``repro-sim`` tool."""
+
+from .main import build_parser, main
+from .worldcfg import config_from_dict, config_to_dict, load_config, save_config
+
+__all__ = [
+    "build_parser",
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "main",
+    "save_config",
+]

@@ -1,0 +1,267 @@
+"""``repro-sim`` — the command-line face of the library.
+
+Subcommands compose into the paper's workflow::
+
+    repro-sim world --edge 120 --cpe 2000 --out world.json
+    repro-sim seeds --world world.json --source tum --out tum.seeds
+    repro-sim targets --seeds tum.seeds --level 64 --out tum.targets
+    repro-sim probe --world world.json --vantage EU-NET \\
+                    --targets tum.targets --pps 1000 --fill --out run.yrp6
+    repro-sim analyze --results run.yrp6 --world world.json --subnets
+
+Seed and target files hold one address or ``addr/len`` prefix per line
+(``#`` comments allowed); probe output uses the ``.yrp6`` row format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .. import __version__
+from ..addrs import address, format_address
+from ..addrs.prefix import Prefix
+from ..analysis import (
+    AsnResolver,
+    build_traces,
+    discover_by_path_div,
+    format_count,
+    graph_summary,
+    interface_graph,
+    path_length_stats,
+    reach_fraction,
+    render_table,
+)
+from ..hitlist import make_targets
+from ..hitlist.transform import SeedItem
+from ..netsim import Internet, InternetConfig, build_internet
+from ..prober import run_doubletree, run_sequential, run_yarrp6
+from ..prober.output import load_campaign, save_campaign
+from ..seeds import build_all_seeds
+from .worldcfg import load_config, save_config
+
+
+def _read_items(path: str) -> List[SeedItem]:
+    items: List[SeedItem] = []
+    with open(path) as source:
+        for line in source:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "/" in line:
+                items.append(Prefix.parse(line))
+            else:
+                items.append(address.parse(line))
+    return items
+
+
+def _write_items(path: str, items: Sequence[SeedItem]) -> None:
+    with open(path, "w") as sink:
+        for item in items:
+            if isinstance(item, Prefix):
+                sink.write("%s\n" % item)
+            else:
+                sink.write("%s\n" % format_address(item))
+
+
+def cmd_world(args: argparse.Namespace, out: TextIO) -> int:
+    config = InternetConfig(
+        seed=args.seed,
+        n_edge=args.edge,
+        cpe_customers_per_isp=args.cpe,
+    )
+    with open(args.out, "w") as sink:
+        save_config(sink, config)
+    built = build_internet(config)
+    out.write(
+        "world written to %s: %d ASes, %d routers, %d leaf /64s, %d hosts\n"
+        % (
+            args.out,
+            len(built.truth.ases),
+            len(built.truth.routers),
+            len(built.truth.subnets),
+            len(built.truth.all_host_addresses()),
+        )
+    )
+    return 0
+
+
+def _load_world(path: str):
+    with open(path) as source:
+        return build_internet(load_config(source))
+
+
+def cmd_seeds(args: argparse.Namespace, out: TextIO) -> int:
+    built = _load_world(args.world)
+    seeds = build_all_seeds(
+        built,
+        random_count=args.random_count,
+        sixgen_budget=args.sixgen_budget,
+        cdn_k32=args.cdn_k32,
+        cdn_k256=args.cdn_k256,
+    )
+    if args.source not in seeds:
+        out.write(
+            "unknown source %r; available: %s\n"
+            % (args.source, ", ".join(sorted(seeds)))
+        )
+        return 2
+    seed_list = seeds[args.source]
+    _write_items(args.out, seed_list.items)
+    out.write(
+        "%s: %d items written to %s\n" % (seed_list.name, len(seed_list), args.out)
+    )
+    return 0
+
+
+def cmd_targets(args: argparse.Namespace, out: TextIO) -> int:
+    items = _read_items(args.seeds)
+    target_set = make_targets("cli", items, level=args.level, method=args.method)
+    _write_items(args.out, list(target_set.addresses))
+    out.write(
+        "%d targets (%s, %s) written to %s\n"
+        % (len(target_set), target_set.transformation, target_set.synthesis, args.out)
+    )
+    return 0
+
+
+_PROBERS = {
+    "yarrp6": run_yarrp6,
+    "sequential": run_sequential,
+    "doubletree": run_doubletree,
+}
+
+
+def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
+    internet = Internet(_load_world(args.world))
+    targets = [item for item in _read_items(args.targets) if isinstance(item, int)]
+    if not targets:
+        out.write("no targets in %s\n" % args.targets)
+        return 2
+    runner = _PROBERS[args.prober]
+    kwargs = {}
+    if args.prober == "yarrp6":
+        kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
+    result = runner(internet, args.vantage, targets, pps=args.pps, **kwargs)
+    rows = save_campaign(args.out, result)
+    out.write(
+        "%s from %s: %d probes, %d responses, %d interfaces; %d rows -> %s\n"
+        % (
+            args.prober,
+            args.vantage,
+            result.sent,
+            len(result.records),
+            len(result.interfaces),
+            rows,
+            args.out,
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out: TextIO) -> int:
+    loaded = load_campaign(args.results)
+    traces = build_traces(loaded.records)
+    median, mean, p95 = path_length_stats(traces.values())
+    rows = [
+        ["responses", format_count(len(loaded.records))],
+        ["unique interfaces", format_count(len(loaded.interfaces))],
+        ["traces with responses", format_count(len(traces))],
+        ["reach-target fraction", "%.1f%%" % (100 * reach_fraction(traces.values()))],
+        ["path length median/mean/p95", "%d / %.1f / %d" % (median, mean, p95)],
+    ]
+    if loaded.skipped_rows:
+        rows.append(["malformed rows skipped", str(loaded.skipped_rows)])
+    out.write(render_table(["metric", "value"], rows, title="campaign summary") + "\n")
+
+    if args.graph:
+        graph = interface_graph(traces)
+        stats = graph_summary(graph)
+        out.write(
+            "interface graph: %d nodes, %d edges, %d components\n"
+            % (stats["nodes"], stats["edges"], stats["components"])
+        )
+
+    if args.subnets:
+        if not args.world:
+            out.write("--subnets needs --world for ASN attribution\n")
+            return 2
+        built = _load_world(args.world)
+        resolver = AsnResolver(built.truth.registry, built.truth.equivalent_asns)
+        candidates = discover_by_path_div(traces, resolver)
+        histogram = candidates.length_histogram()
+        out.write(
+            "subnets: %d candidates, %d IA-hack /64s\n"
+            % (len(candidates.candidate_prefixes), len(candidates.ia_subnets))
+        )
+        for length in sorted(histogram):
+            out.write("  /%d: %d\n" % (length, histogram[length]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="IPv6 topology discovery reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    world = commands.add_parser("world", help="generate a world config")
+    world.add_argument("--seed", type=int, default=2018)
+    world.add_argument("--edge", type=int, default=120)
+    world.add_argument("--cpe", type=int, default=1500)
+    world.add_argument("--out", required=True)
+    world.set_defaults(handler=cmd_world)
+
+    seeds = commands.add_parser("seeds", help="synthesize a hitlist seed source")
+    seeds.add_argument("--world", required=True)
+    seeds.add_argument("--source", required=True)
+    seeds.add_argument("--random-count", type=int, default=10_000)
+    seeds.add_argument("--sixgen-budget", type=int, default=20_000)
+    seeds.add_argument("--cdn-k32", type=int, default=32)
+    seeds.add_argument("--cdn-k256", type=int, default=256)
+    seeds.add_argument("--out", required=True)
+    seeds.set_defaults(handler=cmd_seeds)
+
+    targets = commands.add_parser("targets", help="run the target pipeline")
+    targets.add_argument("--seeds", required=True)
+    targets.add_argument("--level", type=int, default=64)
+    targets.add_argument(
+        "--method",
+        default="fixediid",
+        choices=("fixediid", "lowbyte1", "random"),
+    )
+    targets.add_argument("--out", required=True)
+    targets.set_defaults(handler=cmd_targets)
+
+    probe = commands.add_parser("probe", help="run a probing campaign")
+    probe.add_argument("--world", required=True)
+    probe.add_argument("--vantage", default="US-EDU-1")
+    probe.add_argument("--targets", required=True)
+    probe.add_argument("--prober", default="yarrp6", choices=tuple(_PROBERS))
+    probe.add_argument("--pps", type=float, default=1000.0)
+    probe.add_argument("--max-ttl", type=int, default=16)
+    probe.add_argument("--fill", action="store_true")
+    probe.add_argument("--out", required=True)
+    probe.set_defaults(handler=cmd_probe)
+
+    analyze = commands.add_parser("analyze", help="analyze campaign output")
+    analyze.add_argument("--results", required=True)
+    analyze.add_argument("--world")
+    analyze.add_argument("--subnets", action="store_true")
+    analyze.add_argument("--graph", action="store_true")
+    analyze.set_defaults(handler=cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""World-configuration serialization for the CLI.
+
+Worlds are fully determined by their :class:`InternetConfig`, so the CLI
+persists a small JSON document instead of a pickled topology; every
+command regenerates the identical world from it (generation costs well
+under a second at CLI scales).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict, TextIO
+
+from ..netsim.build import InternetConfig, VantageConfig
+
+#: Keys that deserialize into nested VantageConfig objects.
+_VANTAGE_KEY = "vantages"
+
+
+def config_to_dict(config: InternetConfig) -> Dict[str, Any]:
+    data = asdict(config)
+    data[_VANTAGE_KEY] = [asdict(vantage) for vantage in config.vantages]
+    return data
+
+
+def config_from_dict(data: Dict[str, Any]) -> InternetConfig:
+    payload = dict(data)
+    vantages = payload.pop(_VANTAGE_KEY, None)
+    # JSON has no tuples; the dataclass fields that are tuples need
+    # coercion back.
+    for key, value in list(payload.items()):
+        if isinstance(value, list):
+            payload[key] = tuple(value)
+    if vantages is not None:
+        payload[_VANTAGE_KEY] = tuple(
+            VantageConfig(
+                name=entry["name"],
+                premise_hops=entry.get("premise_hops", 3),
+                premise_limit=tuple(entry.get("premise_limit", (200.0, 60.0))),
+                aggressive_hops=tuple(entry.get("aggressive_hops", ())),
+                aggressive_limit=tuple(entry.get("aggressive_limit", (40.0, 10.0))),
+            )
+            for entry in vantages
+        )
+    return InternetConfig(**payload)
+
+
+def save_config(sink: TextIO, config: InternetConfig) -> None:
+    json.dump(config_to_dict(config), sink, indent=2)
+    sink.write("\n")
+
+
+def load_config(source: TextIO) -> InternetConfig:
+    return config_from_dict(json.load(source))

@@ -1,0 +1,75 @@
+"""Prefix transformations (Section 3.1, step 2).
+
+The ``zn`` transformation normalizes a heterogeneous seed list to a single
+granularity *n*: prefixes shorter than /n are extended (base zero-filled)
+to /n, prefixes longer than /n — including bare addresses, which carry an
+implicit /128 — are aggregated to their covering /n.  Duplicates collapse,
+so a hitlist with a thousand hosts in one /64 contributes one /64 probe
+target after ``z64``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from ..addrs.prefix import Prefix
+
+SeedItem = Union[int, Prefix]
+
+
+def as_prefix(item: SeedItem) -> Prefix:
+    """Normalize a seed item (address int or Prefix) to a Prefix."""
+    if isinstance(item, Prefix):
+        return item
+    return Prefix(item, 128)
+
+
+def zn(items: Iterable[SeedItem], n: int) -> List[Prefix]:
+    """Apply the ``zn`` transformation; result is sorted and de-duplicated."""
+    if not 0 <= n <= 128:
+        raise ValueError("zn level out of range: %r" % n)
+    seen = set()
+    result: List[Prefix] = []
+    for item in items:
+        prefix = as_prefix(item)
+        if prefix.length < n:
+            prefix = prefix.extend(n)
+        elif prefix.length > n:
+            prefix = prefix.truncate(n)
+        if prefix not in seen:
+            seen.add(prefix)
+            result.append(prefix)
+    result.sort()
+    return result
+
+
+def expand_short_prefixes(
+    items: Iterable[SeedItem], n: int, max_expansion: int = 256
+) -> List[Prefix]:
+    """Variant of ``zn`` that *enumerates* the /n subnets of short
+    prefixes instead of zero-extending, up to ``max_expansion`` subnets
+    per input prefix.  Useful for breadth studies: a /32 seed becomes a
+    sample of /48 targets rather than a single zero /48."""
+    result: List[Prefix] = []
+    seen = set()
+    for item in items:
+        prefix = as_prefix(item)
+        if prefix.length > n:
+            prefix = prefix.truncate(n)
+            if prefix not in seen:
+                seen.add(prefix)
+                result.append(prefix)
+            continue
+        count = 1 << (n - prefix.length)
+        step = max(1, count // max_expansion)
+        emitted = 0
+        index = 0
+        while index < count and emitted < max_expansion:
+            subnet = prefix.nth_subnet(n, index)
+            if subnet not in seen:
+                seen.add(subnet)
+                result.append(subnet)
+                emitted += 1
+            index += step
+    result.sort()
+    return result

@@ -1,0 +1,53 @@
+"""Simulated IPv6 internet: topology generation, virtual-time engine,
+rate limiting, ECMP, and byte-level packet handling."""
+
+from .build import (
+    BuiltInternet,
+    InternetConfig,
+    Vantage,
+    VantageConfig,
+    build_internet,
+)
+from .ecmp import VARIANTS, flow_hash, flow_variant
+from .engine import Engine, US_PER_SECOND, pps_interval, seconds
+from .internet import CompiledPath, Internet, Response, TerminalKind
+from .ratelimit import TokenBucket, UnlimitedBucket
+from .topology import (
+    AddressPlan,
+    AutonomousSystem,
+    GroundTruth,
+    HostKind,
+    Router,
+    RouterRole,
+    Subnet,
+    SubnetPlan,
+)
+
+__all__ = [
+    "AddressPlan",
+    "AutonomousSystem",
+    "BuiltInternet",
+    "CompiledPath",
+    "Engine",
+    "GroundTruth",
+    "HostKind",
+    "Internet",
+    "InternetConfig",
+    "Response",
+    "Router",
+    "RouterRole",
+    "Subnet",
+    "SubnetPlan",
+    "TerminalKind",
+    "TokenBucket",
+    "US_PER_SECOND",
+    "UnlimitedBucket",
+    "VARIANTS",
+    "Vantage",
+    "VantageConfig",
+    "build_internet",
+    "flow_hash",
+    "flow_variant",
+    "pps_interval",
+    "seconds",
+]

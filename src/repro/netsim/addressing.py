@@ -1,0 +1,82 @@
+"""Address assignment: router interface and host IID generation.
+
+Interface numbering follows each AS's :class:`~repro.netsim.topology.
+AddressPlan`; host numbering follows per-host :class:`HostKind`.  The mix
+of plans across the internet is what makes Table 1's and Table 7's IID
+class distributions (lowbyte vs EUI-64 vs randomized) come out.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..addrs.iid import make_eui64_iid
+from ..addrs.prefix import Prefix
+from .topology import AddressPlan, HostKind
+
+#: Per-manufacturer OUIs for CPE fleets: two dominant vendors, mirroring
+#: the paper's finding that 59% of EUI-64 router addresses came from just
+#: two manufacturers.
+CPE_OUIS = (0x00259E, 0xF4CA24, 0x3C9066, 0x8C59C3)
+
+
+def random_mac(rng: random.Random, oui: int) -> Tuple[int, ...]:
+    """A MAC with the given 24-bit OUI and random NIC-specific half."""
+    return (
+        (oui >> 16) & 0xFF,
+        (oui >> 8) & 0xFF,
+        oui & 0xFF,
+        rng.getrandbits(8),
+        rng.getrandbits(8),
+        rng.getrandbits(8),
+    )
+
+
+def interface_iid(plan: AddressPlan, position: int, rng: random.Random, oui: int = 0) -> int:
+    """IID for the ``position``-th interface on a point-to-point /64.
+
+    * lowbyte — ::1, ::2, … (the very common operational practice);
+    * random  — an opaque 64-bit identifier;
+    * eui64   — embedded-MAC identifier from the AS's CPE vendor.
+    """
+    if plan is AddressPlan.LOWBYTE:
+        return position + 1
+    if plan is AddressPlan.RANDOM:
+        return rng.getrandbits(64) or 1
+    if plan is AddressPlan.EUI64:
+        return make_eui64_iid(random_mac(rng, oui or CPE_OUIS[0]))
+    raise ValueError("unknown plan %r" % plan)
+
+
+def interface_address(
+    link_prefix: Prefix, plan: AddressPlan, position: int, rng: random.Random, oui: int = 0
+) -> int:
+    """Full interface address on a /64 link prefix."""
+    return link_prefix.base | interface_iid(plan, position, rng, oui)
+
+
+def host_iid(kind: HostKind, rng: random.Random, oui: int = 0) -> int:
+    """IID for an end host of the given kind."""
+    if kind is HostKind.SLAAC_PRIVACY:
+        # RFC 4941 temporary addresses: uniformly random IIDs.  Clear the
+        # ff:fe EUI-64 marker position so classification stays honest.
+        iid = rng.getrandbits(64)
+        if (iid >> 24) & 0xFFFF == 0xFFFE:
+            iid ^= 1 << 30
+        return iid or 1
+    if kind is HostKind.EUI64:
+        return make_eui64_iid(random_mac(rng, oui or CPE_OUIS[1]))
+    if kind is HostKind.LOWBYTE_SERVER:
+        return rng.randint(1, 0x200)
+    raise ValueError("unknown host kind %r" % kind)
+
+
+def pick_host_kind(rng: random.Random, privacy_fraction: float, eui64_fraction: float) -> HostKind:
+    """Sample a host kind given a deployment's address-technique mix."""
+    roll = rng.random()
+    if roll < privacy_fraction:
+        return HostKind.SLAAC_PRIVACY
+    if roll < privacy_fraction + eui64_fraction:
+        return HostKind.EUI64
+    return HostKind.LOWBYTE_SERVER

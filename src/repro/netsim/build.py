@@ -1,0 +1,712 @@
+"""Ground-truth internet generation.
+
+Builds a hierarchical AS-level topology (tier-1 backbone mesh, tier-2
+regional transits, edge/stub ASes, plus large residential "CPE ISPs"),
+a router-level hierarchy inside each AS, BGP and registry tables, subnet
+plans, and host populations.  Every quantity is drawn from a seeded RNG,
+so a given :class:`InternetConfig` reproduces the same internet bit for
+bit.
+
+The generated internet deliberately exhibits the phenomena the paper's
+evaluation turns on:
+
+* mandated ICMPv6 rate limiting with heterogeneous parameters per router
+  (Figure 5's per-hop response collapse);
+* two dominant CPE ISPs whose customer-premises routers carry EUI-64
+  addresses from a single manufacturer each (Table 7's EUI-64 finding);
+* last-hop gateways numbered inside the customer /64 — with a ::1 IID in
+  conventionally run networks — enabling the "IA hack" (Section 6);
+* sparse allocation: only a fraction of each AS's address space has
+  active distribution prefixes, customer allocations, and LANs (depth
+  discoverable only by fine-grained targets, Table 3 / Figure 7);
+* border filtering of UDP/TCP probes in a minority of ASes (the protocol
+  comparison of Section 4.2);
+* infrastructure numbered from unadvertised, registry-only prefixes, and
+  operationally "equivalent" ASN families (Section 6's complications).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..addrs.prefix import Prefix
+from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP
+from .addressing import (
+    CPE_OUIS,
+    host_iid,
+    interface_address,
+    pick_host_kind,
+)
+from .ratelimit import TokenBucket
+from .topology import (
+    AddressPlan,
+    AutonomousSystem,
+    GroundTruth,
+    HostKind,
+    Router,
+    RouterRole,
+    Subnet,
+)
+
+
+@dataclass
+class VantageConfig:
+    """One measurement vantage point: a host inside its own edge AS."""
+
+    name: str
+    #: Number of on-premise router hops between the vantage host and the
+    #: AS border (US-EDU-2's longer premise path, Section 5.3).
+    premise_hops: int = 3
+    #: (rate pps, burst) of the premise hops' ICMPv6 limiters; the first
+    #: hop is the one Figure 5 watches collapse under sequential probing.
+    premise_limit: Tuple[float, float] = (200.0, 60.0)
+    #: Hop indexes (1-based within the premise chain) given an extra-
+    #: aggressive limiter (Figure 5's hop 3 / hops 5, 9 behaviour).
+    aggressive_hops: Tuple[int, ...] = ()
+    aggressive_limit: Tuple[float, float] = (40.0, 10.0)
+
+
+@dataclass
+class InternetConfig:
+    """Knobs for the generated internet.  Defaults build a mid-size world
+    (~10k routers) suitable for tests; benchmarks scale ``n_edge`` and
+    ``cpe_customers_per_isp`` up."""
+
+    seed: int = 2018
+    n_tier1: int = 4
+    n_tier2: int = 10
+    n_edge: int = 120
+    n_cpe_isps: int = 2
+    cpe_customers_per_isp: int = 1500
+
+    # Edge AS internal plan: active distribution /40s, /48 allocations per
+    # distribution, active /64 leaves per allocation, hosts per leaf.
+    dist_per_edge: Tuple[int, int] = (2, 5)
+    allocs_per_dist: Tuple[int, int] = (2, 5)
+    leaves_per_alloc: Tuple[int, int] = (1, 3)
+    hosts_per_leaf: Tuple[int, int] = (1, 4)
+
+    #: Fraction of edge ASes advertising a /48 instead of a /32.
+    edge_slash48_fraction: float = 0.25
+    #: Fraction of edge ASes whose router space is registry-only (not BGP).
+    unadvertised_infra_fraction: float = 0.10
+    #: Number of "equivalent ASN" families (infrastructure ASN distinct
+    #: from the customer-prefix ASN).
+    equivalent_families: int = 2
+
+    # Host address technique mix on conventional LANs.
+    privacy_fraction: float = 0.55
+    eui64_host_fraction: float = 0.25
+    #: Fraction of leaves whose hosts surf the web (CDN seed visibility).
+    edge_www_fraction: float = 0.15
+    #: Per-CPE-ISP WWW-client fraction: the first ISP's customers dominate
+    #: the CDN's view, the second's barely appear — which is why the CDN
+    #: and TUM target sets end up revealing *different* ISPs' CPE fleets
+    #: (Section 5.1).  Indexed by ISP number, last value reused beyond.
+    cpe_www_fractions: Tuple[float, ...] = (0.98, 0.25)
+
+    # ICMPv6 error rate limiting (token buckets), sampled per router.
+    core_limit_rate: Tuple[float, float] = (300.0, 1200.0)
+    core_limit_burst: Tuple[float, float] = (50.0, 200.0)
+    edge_limit_rate: Tuple[float, float] = (80.0, 500.0)
+    edge_limit_burst: Tuple[float, float] = (20.0, 100.0)
+
+    # Behavioural fractions.
+    udp_block_fraction: float = 0.10
+    tcp_block_fraction: float = 0.08
+    admin_firewall_fraction: float = 0.03
+    silent_router_fraction: float = 0.04
+    icmp_only_router_fraction: float = 0.01
+    #: Probability the final gateway answers a dead-IID probe with an
+    #: address-unreachable instead of silence.
+    gateway_unreach_probability: float = 0.08
+    #: Probability a host (or router answering for its own address)
+    #: emits an ICMPv6 error such as port-unreachable for one probe —
+    #: end hosts rate-limit errors aggressively (RFC 4443 applies to
+    #: them too; Linux defaults to ~1 error/s per destination).
+    host_error_probability: float = 0.15
+    #: Baseline per-response loss applied on the reverse path.
+    response_loss: float = 0.01
+    #: Fraction of edge leaf /64s that are fully responsive "aliased
+    #: prefixes" (Gasser et al.) — every IID answers.
+    aliased_subnet_fraction: float = 0.02
+    #: Fraction of edge ASes reached over 6in4-style tunnels (link MTU
+    #: 1480); the 6to4 relay always runs at the 1280 floor.
+    tunnel_fraction: float = 0.06
+
+    #: Advertise 2002::/16 via a relay AS and give DNS-ish seeds 6to4 noise.
+    include_6to4: bool = True
+
+    vantages: Tuple[VantageConfig, ...] = field(
+        default_factory=lambda: (
+            VantageConfig("US-EDU-1", premise_hops=3),
+            VantageConfig(
+                "US-EDU-2",
+                premise_hops=6,
+                aggressive_hops=(5,),
+                # Near-dark at campaign rates: the hop whose silence
+                # breaks fill chains (Table 6) and depresses this
+                # vantage's yield (Section 5.3).
+                aggressive_limit=(5.0, 3.0),
+            ),
+            VantageConfig("EU-NET", premise_hops=3, aggressive_hops=(3,)),
+        )
+    )
+
+
+class Vantage:
+    """A built vantage: its host address and on-premise hop chain."""
+
+    __slots__ = ("name", "asn", "address", "premise_chain")
+
+    def __init__(self, name: str, asn: int, address: int):
+        self.name = name
+        self.asn = asn
+        self.address = address
+        #: [(router, iface_addr)] from first hop outward to the AS border.
+        self.premise_chain: List[Tuple[Router, int]] = []
+
+    def __repr__(self) -> str:
+        return "Vantage(%s, AS%d)" % (self.name, self.asn)
+
+
+class BuiltInternet:
+    """The builder's output: ground truth plus routing structure."""
+
+    __slots__ = (
+        "config",
+        "truth",
+        "vantages",
+        "tier1_asns",
+        "tier2_asns",
+        "edge_asns",
+        "cpe_asns",
+        "borders",
+        "cores",
+        "dist_routers",
+        "agg_routers",
+        "uplinks",
+        "alloc_index",
+        "dist_index",
+    )
+
+    def __init__(self, config: InternetConfig):
+        self.config = config
+        self.truth = GroundTruth()
+        self.vantages: Dict[str, Vantage] = {}
+        self.tier1_asns: List[int] = []
+        self.tier2_asns: List[int] = []
+        self.edge_asns: List[int] = []
+        self.cpe_asns: List[int] = []
+        #: ASN -> [(border_router, iface_addr)] (ingress candidates).
+        self.borders: Dict[int, List[Tuple[Router, int]]] = {}
+        #: ASN -> [(core_router, iface_addr)] (ECMP candidates).
+        self.cores: Dict[int, List[Tuple[Router, int]]] = {}
+        #: /40-distribution base addr -> interface options (router, iface).
+        self.dist_routers: Dict[int, Tuple[Router, int]] = {}
+        #: /48-allocation base addr -> interface options (router, iface).
+        self.agg_routers: Dict[int, Tuple[Router, int]] = {}
+        #: ASN -> provider ASNs.
+        self.uplinks: Dict[int, List[int]] = {}
+        #: ASN -> sorted list of allocation prefixes (fast membership).
+        self.alloc_index: Dict[int, List[Prefix]] = {}
+        self.dist_index: Dict[int, List[Prefix]] = {}
+
+
+def _allocate_slots(rng: random.Random, span: int, count: int) -> List[int]:
+    """Subnet slot selection with operational locality: most operators
+    allocate sequentially from the bottom of the block, some scatter."""
+    if count >= span:
+        return list(range(span))
+    if rng.random() < 0.65:
+        offset = rng.randrange(0, max(1, min(8, span - count)))
+        return list(range(offset, offset + count))
+    return rng.sample(range(span), k=count)
+
+
+class _Builder:
+    """Stateful construction helper; call :func:`build_internet` instead."""
+
+    def __init__(self, config: InternetConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.out = BuiltInternet(config)
+        self._next_asn = 64496
+        self._next_router_id = 1
+        self._used_prefixes: Set[int] = set()
+        self._link_counters: Dict[int, int] = {}
+        self._infra_prefix: Dict[int, Prefix] = {}
+        self._link_space: Dict[int, Prefix] = {}
+
+    # -- identity allocation ------------------------------------------
+    def new_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _unique_slash32(self) -> Prefix:
+        while True:
+            high = 0x2000 | self.rng.getrandbits(13)
+            low = self.rng.getrandbits(16)
+            base = (high << 112) | (low << 96)
+            if base not in self._used_prefixes:
+                self._used_prefixes.add(base)
+                return Prefix(base, 32)
+
+    def new_router(
+        self,
+        asn: int,
+        role: RouterRole,
+        rate_range: Tuple[float, float],
+        burst_range: Tuple[float, float],
+    ) -> Router:
+        rng = self.rng
+        limiter = TokenBucket(
+            rate=rng.uniform(*rate_range), burst=rng.uniform(*burst_range)
+        )
+        respond: Optional[Set[int]] = None
+        probability = 1.0
+        if rng.random() < self.config.silent_router_fraction:
+            probability = rng.uniform(0.0, 0.5)
+        elif rng.random() < self.config.icmp_only_router_fraction:
+            respond = {PROTO_ICMPV6}
+        router = Router(
+            self._next_router_id,
+            asn,
+            role,
+            limiter,
+            respond_protocols=respond,
+            response_probability=probability,
+        )
+        self._next_router_id += 1
+        self.out.truth.register_router(router)
+        return router
+
+    def link_prefix(self, asn: int) -> Prefix:
+        """Next infrastructure /64 for a point-to-point link inside ``asn``."""
+        counter = self._link_counters.get(asn, 0)
+        self._link_counters[asn] = counter + 1
+        infra = self._link_space[asn]
+        # Infrastructure links live under the first /48 of the infra prefix.
+        return Prefix(infra.base | (counter << 64), 64)
+
+    def give_interface(self, router: Router, addr: int) -> int:
+        self.out.truth.register_interface(router, addr)
+        return addr
+
+    def iface_on_link(self, router: Router, link: Prefix, position: int) -> int:
+        asys = self.out.truth.ases[router.asn]
+        plan = asys.address_plan
+        if plan is AddressPlan.EUI64 and router.role is not RouterRole.CPE:
+            # EUI-64 comes from SLAAC on customer-premises gear; an ISP's
+            # own core/aggregation links are statically numbered.
+            plan = AddressPlan.LOWBYTE
+        addr = interface_address(
+            link, plan, position, self.rng, asys.cpe_oui or 0
+        )
+        return self.give_interface(router, addr)
+
+    # -- AS construction -----------------------------------------------
+    def make_as(
+        self,
+        name: str,
+        tier: int,
+        plan: AddressPlan,
+        hidden_infra: bool = False,
+        prefix_length: int = 32,
+    ) -> AutonomousSystem:
+        """Create an AS with an advertised primary prefix.  With
+        ``hidden_infra`` the routers are numbered from a *separate*,
+        registry-only prefix — customers stay globally reachable but the
+        infrastructure addresses fall outside the public BGP (one of
+        Section 6's record-keeping complications)."""
+        asn = self.new_asn()
+        asys = AutonomousSystem(asn, name, tier, plan)
+        primary = self._unique_slash32()
+        if prefix_length != 32:
+            primary = Prefix(primary.base, prefix_length)
+        self._infra_prefix[asn] = primary
+        asys.prefixes.append(primary)
+        self.out.truth.bgp.insert(primary, asn)
+        self.out.truth.registry.insert(primary, asn)
+        if hidden_infra:
+            hidden = self._unique_slash32()
+            asys.internal_prefixes.append(hidden)
+            self.out.truth.registry.insert(hidden, asn)
+            self._link_space[asn] = hidden
+        else:
+            self._link_space[asn] = primary
+        self.out.truth.ases[asn] = asys
+        return asys
+
+    def attach_border(self, asys: AutonomousSystem, count: int, core: bool = True) -> None:
+        """Create border (and core) routers with infrastructure addresses."""
+        config = self.config
+        rate = config.core_limit_rate if asys.tier <= 2 else config.edge_limit_rate
+        burst = config.core_limit_burst if asys.tier <= 2 else config.edge_limit_burst
+        # Each router exposes two ingress interfaces; which one sources
+        # its ICMPv6 errors depends on the flow's ECMP variant.  Multiple
+        # addresses per router are what alias resolution later collapses.
+        borders = []
+        for _ in range(count):
+            router = self.new_router(asys.asn, RouterRole.BORDER, rate, burst)
+            asys.routers.append(router)
+            for _iface in range(2):
+                link = self.link_prefix(asys.asn)
+                borders.append((router, self.iface_on_link(router, link, 0)))
+        self.out.borders[asys.asn] = borders
+        cores = []
+        if core:
+            n_core = 2 if asys.tier == 1 else 1
+            for _ in range(n_core):
+                router = self.new_router(asys.asn, RouterRole.CORE, rate, burst)
+                asys.routers.append(router)
+                for _iface in range(2):
+                    link = self.link_prefix(asys.asn)
+                    cores.append((router, self.iface_on_link(router, link, 0)))
+        self.out.cores[asys.asn] = cores
+
+    def set_policy(self, asys: AutonomousSystem) -> None:
+        rng, config = self.rng, self.config
+        blocked: Set[int] = set()
+        if rng.random() < config.udp_block_fraction:
+            blocked.add(PROTO_UDP)
+        if rng.random() < config.tcp_block_fraction:
+            blocked.add(PROTO_TCP)
+        action = "drop"
+        if rng.random() < config.admin_firewall_fraction:
+            blocked.update({PROTO_UDP, PROTO_TCP, PROTO_ICMPV6})
+            action = "admin"
+        asys.policy.blocked_protocols = blocked
+        asys.policy.prohibit_action = action
+
+    # -- leaf subnets ----------------------------------------------------
+    def populate_leaf(
+        self,
+        asys: AutonomousSystem,
+        leaf_prefix: Prefix,
+        gateway: Router,
+        www_fraction: float,
+        host_count: int,
+        host_oui: int = 0,
+    ) -> Subnet:
+        rng, config = self.rng, self.config
+        if asys.address_plan is AddressPlan.EUI64:
+            gw_iid = host_iid(HostKind.EUI64, rng, asys.cpe_oui or CPE_OUIS[0])
+        else:
+            gw_iid = 1
+        gateway_addr = self.give_interface(gateway, leaf_prefix.base | gw_iid)
+        subnet = Subnet(leaf_prefix, gateway, gateway_addr)
+        if (
+            asys.address_plan is not AddressPlan.EUI64
+            and rng.random() < config.aliased_subnet_fraction
+        ):
+            subnet.aliased = True
+        is_www = rng.random() < www_fraction
+        # Residential LANs are dominated by SLAAC privacy addresses;
+        # enterprise/hosting LANs carry more static low-byte servers.
+        privacy = (
+            0.85 if asys.address_plan is AddressPlan.EUI64
+            else config.privacy_fraction
+        )
+        for _ in range(host_count):
+            kind = pick_host_kind(
+                rng, privacy, config.eui64_host_fraction
+            )
+            iid = host_iid(kind, rng, asys.cpe_oui or CPE_OUIS[1])
+            subnet.host_iids.append(iid)
+            if is_www and kind is HostKind.SLAAC_PRIVACY:
+                subnet.www_client_iids.append(iid)
+        self.out.truth.register_subnet(subnet)
+        asys.plan.leaves.append(subnet)
+        return subnet
+
+    # -- the big pieces ---------------------------------------------------
+    def build_backbone(self) -> None:
+        for index in range(self.config.n_tier1):
+            asys = self.make_as("T1-%d" % index, 1, AddressPlan.LOWBYTE)
+            self.attach_border(asys, count=2)
+            self.out.tier1_asns.append(asys.asn)
+        for index in range(self.config.n_tier2):
+            plan = AddressPlan.LOWBYTE if index % 2 else AddressPlan.RANDOM
+            asys = self.make_as("T2-%d" % index, 2, plan)
+            self.attach_border(asys, count=2)
+            providers = self.rng.sample(
+                self.out.tier1_asns, k=min(2, len(self.out.tier1_asns))
+            )
+            asys.providers.extend(providers)
+            self.out.uplinks[asys.asn] = providers
+            self.out.tier2_asns.append(asys.asn)
+
+    def build_edge_ases(self) -> None:
+        config, rng = self.config, self.rng
+        pending_equivalents = config.equivalent_families
+        for index in range(config.n_edge):
+            plan = AddressPlan.LOWBYTE if rng.random() < 0.6 else AddressPlan.RANDOM
+            hidden = rng.random() < config.unadvertised_infra_fraction
+            length = 48 if rng.random() < config.edge_slash48_fraction else 32
+            asys = self.make_as(
+                "EDGE-%d" % index, 3, plan, hidden_infra=hidden,
+                prefix_length=length,
+            )
+            self.set_policy(asys)
+            if rng.random() < config.tunnel_fraction:
+                asys.link_mtu = 1480  # 6in4 tunnel overhead
+            self.attach_border(asys, count=1)
+            providers = rng.sample(
+                self.out.tier2_asns, k=1 if rng.random() < 0.7 else 2
+            )
+            asys.providers.extend(providers)
+            self.out.uplinks[asys.asn] = providers
+            self.out.edge_asns.append(asys.asn)
+            self.build_edge_plan(asys)
+            # Deterministically give the first few edge ASes an
+            # "equivalent" sibling infrastructure ASN (Section 6).
+            if pending_equivalents and index % 7 == 3:
+                self.add_equivalent_family(asys)
+                pending_equivalents -= 1
+
+    def add_equivalent_family(self, asys: AutonomousSystem) -> None:
+        """Give ``asys`` a sibling infrastructure ASN originating a separate
+        prefix used only for router numbering (Section 6)."""
+        sibling = self.new_asn()
+        infra = self._unique_slash32()
+        sibling_as = AutonomousSystem(
+            sibling, asys.name + "-INFRA", asys.tier, asys.address_plan
+        )
+        sibling_as.prefixes.append(infra)
+        self.out.truth.ases[sibling] = sibling_as
+        self.out.truth.bgp.insert(infra, sibling)
+        self.out.truth.registry.insert(infra, sibling)
+        self.out.truth.equivalent_asns[sibling] = asys.asn
+        self.out.truth.equivalent_asns[asys.asn] = asys.asn
+        # Renumber the AS's border routers from the sibling prefix, one
+        # fresh link /64 per router.
+        seen = set()
+        counter = 0
+        for router, _ in self.out.borders[asys.asn]:
+            if router.router_id in seen:
+                continue
+            seen.add(router.router_id)
+            link = Prefix(infra.base | ((0xFE00 + counter) << 64), 64)
+            counter += 1
+            addr = interface_address(link, asys.address_plan, 0, self.rng)
+            self.give_interface(router, addr)
+
+    def build_edge_plan(self, asys: AutonomousSystem) -> None:
+        """Sparse hierarchical allocation inside one edge AS."""
+        config, rng = self.config, self.rng
+        prefix = self._infra_prefix[asys.asn]
+        # Customer space: everything except the infra /48 (index 0).
+        dist_length = min(40, prefix.length + 8) if prefix.length < 40 else min(
+            prefix.length + 4, 56
+        )
+        n_dist = rng.randint(*config.dist_per_edge)
+        dist_slots = rng.sample(
+            range(1, 1 << (dist_length - prefix.length)),
+            k=min(n_dist, (1 << (dist_length - prefix.length)) - 1),
+        )
+        dists: List[Prefix] = []
+        for slot in dist_slots:
+            dist = prefix.nth_subnet(dist_length, slot)
+            dists.append(dist)
+            asys.plan.distribution.append(dist)
+            router = self.new_router(
+                asys.asn,
+                RouterRole.DISTRIBUTION,
+                config.edge_limit_rate,
+                config.edge_limit_burst,
+            )
+            asys.routers.append(router)
+            iface = self.iface_on_link(router, self.link_prefix(asys.asn), 0)
+            self.out.dist_routers[dist.base] = ((router, iface),)
+            alloc_length = min(60, dist_length + 8)
+            n_alloc = rng.randint(*config.allocs_per_dist)
+            span = 1 << (alloc_length - dist_length)
+            alloc_slots = _allocate_slots(rng, span, min(n_alloc, span))
+            for alloc_slot in alloc_slots:
+                alloc = dist.nth_subnet(alloc_length, alloc_slot)
+                asys.plan.allocations.append(alloc)
+                agg = self.new_router(
+                    asys.asn,
+                    RouterRole.AGGREGATION,
+                    config.edge_limit_rate,
+                    config.edge_limit_burst,
+                )
+                asys.routers.append(agg)
+                agg_iface = self.iface_on_link(agg, self.link_prefix(asys.asn), 0)
+                self.out.agg_routers[alloc.base] = ((agg, agg_iface),)
+                n_leaves = rng.randint(*config.leaves_per_alloc)
+                leaf_span = 1 << (64 - alloc_length)
+                leaf_slots = _allocate_slots(rng, leaf_span, min(n_leaves, leaf_span))
+                for leaf_slot in leaf_slots:
+                    leaf = alloc.nth_subnet(64, leaf_slot)
+                    gateway = self.new_router(
+                        asys.asn,
+                        RouterRole.GATEWAY,
+                        config.edge_limit_rate,
+                        config.edge_limit_burst,
+                    )
+                    asys.routers.append(gateway)
+                    self.populate_leaf(
+                        asys,
+                        leaf,
+                        gateway,
+                        config.edge_www_fraction,
+                        rng.randint(*config.hosts_per_leaf),
+                    )
+        self.out.dist_index[asys.asn] = sorted(dists)
+        self.out.alloc_index[asys.asn] = sorted(asys.plan.allocations)
+
+    def build_cpe_isp(self, index: int) -> None:
+        """One large residential ISP: regional hierarchy over many /56
+        customer delegations, CPE gateways with single-vendor EUI-64."""
+        config, rng = self.config, self.rng
+        asys = self.make_as("CPE-ISP-%d" % index, 3, AddressPlan.EUI64)
+        asys.cpe_oui = CPE_OUIS[index % len(CPE_OUIS)]
+        self.set_policy(asys)
+        asys.policy.blocked_protocols = set()  # big ISPs don't filter
+        self.attach_border(asys, count=2)
+        providers = rng.sample(self.out.tier2_asns, k=2)
+        asys.providers.extend(providers)
+        self.out.uplinks[asys.asn] = providers
+        self.out.cpe_asns.append(asys.asn)
+
+        prefix = self._infra_prefix[asys.asn]
+        n_regions = 8
+        region_length = prefix.length + 8  # /40 regions
+        customers = config.cpe_customers_per_isp
+        per_region = max(1, customers // n_regions)
+        region_slots = rng.sample(range(1, 200), k=n_regions)
+        for region_slot in region_slots:
+            region = prefix.nth_subnet(region_length, region_slot)
+            asys.plan.distribution.append(region)
+            dist = self.new_router(
+                asys.asn,
+                RouterRole.DISTRIBUTION,
+                config.core_limit_rate,
+                config.core_limit_burst,
+            )
+            asys.routers.append(dist)
+            dist_iface = self.iface_on_link(dist, self.link_prefix(asys.asn), 0)
+            self.out.dist_routers[region.base] = ((dist, dist_iface),)
+            # One BNG aggregates each /44 pool of /56 delegations.
+            pool_length = region_length + 4
+            n_pools = max(1, min(8, per_region // 64))
+            pool_slots = rng.sample(range(1 << 4), k=n_pools)
+            per_pool = max(1, per_region // n_pools)
+            for pool_slot in pool_slots:
+                pool = region.nth_subnet(pool_length, pool_slot)
+                asys.plan.allocations.append(pool)
+                bng = self.new_router(
+                    asys.asn,
+                    RouterRole.AGGREGATION,
+                    config.core_limit_rate,
+                    config.core_limit_burst,
+                )
+                asys.routers.append(bng)
+                bng_iface = self.iface_on_link(bng, self.link_prefix(asys.asn), 0)
+                self.out.agg_routers[pool.base] = ((bng, bng_iface),)
+                span = 1 << (56 - pool_length)
+                # Residential delegations are assigned sequentially from a
+                # small offset: address locality is what makes kIP
+                # aggregation and 6Gen generation effective on client space.
+                offset = rng.randrange(0, 8)
+                count = min(per_pool, span - offset)
+                slots = range(offset, offset + count)
+                for slot in slots:
+                    delegation = pool.nth_subnet(56, slot)
+                    leaf = delegation.nth_subnet(64, 0)
+                    cpe = self.new_router(
+                        asys.asn,
+                        RouterRole.CPE,
+                        config.edge_limit_rate,
+                        config.edge_limit_burst,
+                    )
+                    asys.routers.append(cpe)
+                    www = config.cpe_www_fractions[
+                        min(index, len(config.cpe_www_fractions) - 1)
+                    ]
+                    self.populate_leaf(
+                        asys,
+                        leaf,
+                        cpe,
+                        www,
+                        rng.randint(*config.hosts_per_leaf),
+                        host_oui=asys.cpe_oui,
+                    )
+        self.out.dist_index[asys.asn] = sorted(asys.plan.distribution)
+        self.out.alloc_index[asys.asn] = sorted(asys.plan.allocations)
+
+    def build_6to4_relay(self) -> None:
+        asys = self.make_as("6TO4-RELAY", 3, AddressPlan.LOWBYTE)
+        asys.link_mtu = 1280  # protocol-41 encapsulation at the floor
+        relay_prefix = Prefix.parse("2002::/16")
+        asys.prefixes.append(relay_prefix)
+        self.out.truth.bgp.insert(relay_prefix, asys.asn)
+        self.out.truth.registry.insert(relay_prefix, asys.asn)
+        self.attach_border(asys, count=1)
+        providers = [self.out.tier2_asns[0]]
+        asys.providers.extend(providers)
+        self.out.uplinks[asys.asn] = providers
+        self.out.edge_asns.append(asys.asn)
+        self.out.dist_index[asys.asn] = []
+        self.out.alloc_index[asys.asn] = []
+
+    def build_vantages(self) -> None:
+        config = self.config
+        for vantage_config in config.vantages:
+            asys = self.make_as("VP-" + vantage_config.name, 3, AddressPlan.LOWBYTE)
+            self.attach_border(asys, count=1)
+            providers = self.rng.sample(self.out.tier2_asns, k=1)
+            asys.providers.extend(providers)
+            self.out.uplinks[asys.asn] = providers
+            prefix = self._infra_prefix[asys.asn]
+            vantage_addr = prefix.base | 0x100
+            vantage = Vantage(vantage_config.name, asys.asn, vantage_addr)
+            for hop_index in range(1, vantage_config.premise_hops + 1):
+                if hop_index in vantage_config.aggressive_hops:
+                    rate, burst = vantage_config.aggressive_limit
+                else:
+                    rate, burst = vantage_config.premise_limit
+                router = Router(
+                    self._next_router_id,
+                    asys.asn,
+                    RouterRole.CORE,
+                    TokenBucket(rate, burst),
+                )
+                self._next_router_id += 1
+                self.out.truth.register_router(router)
+                asys.routers.append(router)
+                link = self.link_prefix(asys.asn)
+                iface = self.give_interface(router, link.base | 1)
+                vantage.premise_chain.append((router, iface))
+            self.vantage_done(vantage)
+        # vantage ASes never filter their own probes
+        for vantage in self.out.vantages.values():
+            self.out.truth.ases[vantage.asn].policy.blocked_protocols = set()
+
+    def vantage_done(self, vantage: Vantage) -> None:
+        self.out.vantages[vantage.name] = vantage
+        self.out.dist_index[vantage.asn] = []
+        self.out.alloc_index[vantage.asn] = []
+
+    def build(self) -> BuiltInternet:
+        self.build_backbone()
+        for asn in self.out.tier1_asns + self.out.tier2_asns:
+            self.out.dist_index[asn] = []
+            self.out.alloc_index[asn] = []
+        self.build_edge_ases()
+        for index in range(self.config.n_cpe_isps):
+            self.build_cpe_isp(index)
+        if self.config.include_6to4:
+            self.build_6to4_relay()
+        self.build_vantages()
+        return self.out
+
+
+def build_internet(config: Optional[InternetConfig] = None) -> BuiltInternet:
+    """Generate a ground-truth internet from ``config`` (seeded, repeatable)."""
+    return _Builder(config or InternetConfig()).build()

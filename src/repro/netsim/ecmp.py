@@ -1,0 +1,56 @@
+"""Per-flow load balancing (ECMP) hashing.
+
+IPv6 routers balance flows across equal-cost paths by hashing header
+fields.  For TCP and UDP the five-tuple is used; for ICMPv6, deployed
+hardware hashes the *checksum* field (Almeida et al. 2017), which is why
+Yarrp6 burns two payload bytes on checksum "fudge": keeping the checksum
+constant per target keeps every probe for a target on one path
+(Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from ..packet import ipv6, tcp, udp
+from ..packet.ipv6 import IPv6Header
+
+#: Number of path variants the simulator distinguishes; ECMP groups pick
+#: ``variant % len(options)``.
+VARIANTS = 4
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv(data: bytes) -> int:
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def flow_key(header: IPv6Header, payload: bytes) -> bytes:
+    """The bytes a load balancer hashes for this packet."""
+    base = (
+        header.src.to_bytes(16, "big")
+        + header.dst.to_bytes(16, "big")
+        + bytes([header.next_header])
+        + header.flow_label.to_bytes(3, "big")
+    )
+    if header.next_header in (ipv6.PROTO_TCP, ipv6.PROTO_UDP) and len(payload) >= 4:
+        # Source and destination ports.
+        return base + payload[:4]
+    if header.next_header == ipv6.PROTO_ICMPV6 and len(payload) >= 4:
+        # Type, code and — critically — the checksum.
+        return base + payload[:4]
+    return base
+
+
+def flow_hash(header: IPv6Header, payload: bytes) -> int:
+    """64-bit flow hash of a packet."""
+    return _fnv(flow_key(header, payload))
+
+
+def flow_variant(header: IPv6Header, payload: bytes) -> int:
+    """Path variant in [0, VARIANTS) selected by this packet's flow."""
+    return flow_hash(header, payload) % VARIANTS

@@ -1,0 +1,680 @@
+"""The packet-level simulated internet.
+
+:class:`Internet` accepts raw IPv6 packet bytes injected at a vantage
+point and returns the (virtual-time-delayed) response bytes a real
+network would produce: ICMPv6 Time Exceeded from the hop where the hop
+limit expires (subject to that router's token bucket), Destination
+Unreachable flavours from route/allocation/neighbour failures and
+firewalls, Echo Replies / port unreachables / TCP RSTs from end hosts.
+
+Paths are compiled lazily per (vantage, destination /64, ECMP variant)
+and cached; per-probe work after the first probe to a /64 is O(1) plus
+packet parse/build.  ECMP choice points (multi-homing, parallel cores)
+are resolved by the packet's flow hash, so a Paris-style prober with
+constant headers sees a stable path while a naive prober flaps.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..addrs.prefix import Prefix
+from ..packet import fragment, icmpv6, ipv6, tcp, udp
+from ..packet.icmpv6 import UnreachableCode
+from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, IPv6Header
+from .build import BuiltInternet, InternetConfig, Vantage, build_internet
+from .ecmp import flow_variant
+from .topology import Router, RouterRole, Subnet
+
+
+class TerminalKind(enum.Enum):
+    """What happens to a probe that outlives every hop on its path."""
+
+    LAN = "lan"          # delivered onto the destination /64
+    ROUTER = "router"    # the destination is a router's own interface
+    ERROR = "error"      # ICMPv6 error from the last hop router
+    SILENT = "silent"    # blackholed (e.g. a relay with no onward state)
+
+
+class CompiledPath:
+    """A materialized forwarding path for one (vantage, /64, variant)."""
+
+    __slots__ = (
+        "hops",
+        "terminal",
+        "error_code",
+        "subnet",
+        "filter_index",
+        "filter_action",
+        "blocked",
+        "mtu_profile",
+    )
+
+    def __init__(
+        self,
+        hops: List[Tuple[Router, int, int]],
+        terminal: TerminalKind,
+        error_code: Optional[UnreachableCode] = None,
+        subnet: Optional[Subnet] = None,
+        filter_index: Optional[int] = None,
+        filter_action: str = "drop",
+        blocked: Optional[frozenset] = None,
+        mtu_profile: Optional[List[int]] = None,
+    ):
+        #: [(router, source interface address, one-way cumulative µs)].
+        self.hops = hops
+        self.terminal = terminal
+        self.error_code = error_code
+        self.subnet = subnet
+        #: 1-based hop position of the filtering border, if any; probes
+        #: needing to travel past it with a blocked protocol are filtered.
+        self.filter_index = filter_index
+        self.filter_action = filter_action
+        self.blocked = blocked or frozenset()
+        #: Per-hop MTU of the link each hop forwards onto (defaults 1500).
+        self.mtu_profile = mtu_profile or [1500] * len(hops)
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+    @property
+    def path_mtu(self) -> int:
+        """The bottleneck MTU along the whole path."""
+        return min(self.mtu_profile, default=1500)
+
+    def mtu_break(self, size: int, hop_limit: int) -> Optional[int]:
+        """Index of the hop that must reject a packet of ``size`` before
+        it can travel ``hop_limit`` hops, or None when it fits."""
+        travel = min(hop_limit, len(self.hops))
+        for index in range(travel):
+            if size > self.mtu_profile[index]:
+                return index
+        return None
+
+
+class Response:
+    """A response packet headed back to the vantage."""
+
+    __slots__ = ("delay_us", "data", "kind")
+
+    def __init__(self, delay_us: int, data: bytes, kind: str):
+        self.delay_us = delay_us
+        self.data = data
+        #: "icmp6" for ICMPv6 packets, "tcp" for RST/SYN-ACK from hosts.
+        self.kind = kind
+
+
+class InternetStats:
+    """Aggregate counters over everything the internet saw."""
+
+    __slots__ = (
+        "probes",
+        "time_exceeded",
+        "echo_replies",
+        "unreachables",
+        "rate_limited",
+        "filtered",
+        "silent_terminal",
+        "tcp_responses",
+        "lost",
+        "packet_too_big",
+    )
+
+    def __init__(self):
+        self.probes = 0
+        self.time_exceeded = 0
+        self.echo_replies = 0
+        self.unreachables = 0
+        self.rate_limited = 0
+        self.filtered = 0
+        self.silent_terminal = 0
+        self.tcp_responses = 0
+        self.lost = 0
+        self.packet_too_big = 0
+
+
+def _covering(sorted_prefixes: Sequence[Prefix], value: int) -> Optional[Prefix]:
+    """Find the prefix in a sorted list covering ``value``, if any."""
+    if not sorted_prefixes:
+        return None
+    index = bisect_right(sorted_prefixes, Prefix(value, 128)) - 1
+    if index >= 0 and sorted_prefixes[index].contains(value):
+        return sorted_prefixes[index]
+    return None
+
+
+def _hop_delay(router: Router, tier: int) -> int:
+    """Deterministic per-router one-way link delay in microseconds."""
+    jitter = (router.router_id * 2654435761) & 0xFFFFFFFF
+    if tier <= 2:
+        return 2000 + jitter % 9000
+    return 250 + jitter % 900
+
+
+class Internet:
+    """Facade over a built ground-truth internet.
+
+    Use :meth:`probe` for raw-bytes injection (what the probers do) or
+    :meth:`trace_path` to inspect ground-truth paths (what the tests and
+    validation do).
+    """
+
+    def __init__(self, built: Optional[BuiltInternet] = None, config: Optional[InternetConfig] = None):
+        if built is None:
+            built = build_internet(config)
+        self.built = built
+        self.truth = built.truth
+        self.config = built.config
+        self.stats = InternetStats()
+        self._rng = random.Random(built.config.seed ^ 0x5EED)
+        self._path_cache: Dict[Tuple[int, int, int], CompiledPath] = {}
+        self._vantage_by_addr: Dict[int, Vantage] = {
+            vantage.address: vantage for vantage in built.vantages.values()
+        }
+        self._tier: Dict[int, int] = {
+            asn: asys.tier for asn, asys in self.truth.ases.items()
+        }
+        # Deterministic per-router quotation misbehaviour flags.
+        self._manglers: Dict[int, str] = {}
+        for router_id in self.truth.routers:
+            roll = (router_id * 1103515245 + 12345) % 10_000
+            if roll < 50:
+                self._manglers[router_id] = "rewrite"
+            elif roll < 150:
+                self._manglers[router_id] = "truncate"
+
+    # ------------------------------------------------------------------
+    # Path compilation
+    # ------------------------------------------------------------------
+    def vantage(self, name: str) -> Vantage:
+        return self.built.vantages[name]
+
+    def reset_dynamics(self) -> None:
+        """Refill every rate limiter and clear per-router probing state
+        (atomic-fragment holds) — used between campaigns so trials don't
+        contaminate each other."""
+        for router in self.truth.routers.values():
+            router.limiter.reset()
+            router.atomic_frag_until.clear()
+        self.stats = InternetStats()
+
+    def path_for(self, vantage: Vantage, dst: int, variant: int = 0) -> CompiledPath:
+        """The compiled path from ``vantage`` toward ``dst`` for an ECMP
+        variant; cached per destination /64 — except router-interface
+        destinations, which terminate at a specific address and must not
+        share cache entries with hosts in the same /64."""
+        if dst in self.truth.router_addresses:
+            key = (vantage.asn, dst, variant & 3)
+        else:
+            key = (vantage.asn, dst >> 64, variant & 3)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = self._compile_path(vantage, dst, variant & 3)
+            self._path_cache[key] = path
+        return path
+
+    def _compile_path(self, vantage: Vantage, dst: int, variant: int) -> CompiledPath:
+        built = self.built
+        hops: List[Tuple[Router, int, int]] = []
+        mtus: List[int] = []
+        cum = 0
+
+        def push(router: Router, iface: int) -> None:
+            nonlocal cum
+            cum += _hop_delay(router, self._tier.get(router.asn, 3))
+            hops.append((router, iface, cum))
+            mtus.append(self.truth.ases[router.asn].link_mtu)
+
+        for router, iface in vantage.premise_chain:
+            push(router, iface)
+
+        match = self.truth.bgp.longest_match(dst)
+        provider_asn = built.uplinks[vantage.asn][0]
+        self._push_transit(hops, push, provider_asn, variant)
+        if match is None:
+            # Full-table transit: no route.
+            return CompiledPath(
+                hops,
+                TerminalKind.ERROR,
+                UnreachableCode.NO_ROUTE,
+                mtu_profile=mtus,
+            )
+
+        dst_prefix, dst_asn = match
+        dst_as = self.truth.ases[dst_asn]
+
+        # AS-level route: up from the vantage's provider toward the
+        # backbone, then down to the destination AS.
+        as_path = self._as_route(provider_asn, dst_asn, variant)
+        for asn in as_path:
+            self._push_transit(hops, push, asn, variant)
+
+        if dst_asn != vantage.asn and dst_asn not in (provider_asn, *as_path):
+            # Destination AS ingress border + core.
+            borders = built.borders.get(dst_asn, ())
+            if borders:
+                router, iface = borders[variant % len(borders)]
+                push(router, iface)
+            cores = built.cores.get(dst_asn, ())
+            if cores:
+                router, iface = cores[variant % len(cores)]
+                push(router, iface)
+
+        # Border filtering applies where traffic enters the destination AS.
+        filter_index: Optional[int] = None
+        filter_action = "drop"
+        blocked = frozenset(dst_as.policy.blocked_protocols)
+        if blocked:
+            filter_index = len(hops) - 1 if hops else 0
+            filter_action = dst_as.policy.prohibit_action
+
+        # A probe aimed at a router's own (routed) interface address —
+        # e.g. an infrastructure link address harvested by reverse-DNS
+        # walking — terminates at that router, which answers like a host.
+        owner = self.truth.router_addresses.get(dst)
+        if owner is not None:
+            push(owner, dst)
+            return CompiledPath(
+                hops,
+                TerminalKind.ROUTER,
+                filter_index=filter_index,
+                filter_action=filter_action,
+                blocked=blocked,
+                mtu_profile=mtus,
+            )
+
+        # Internal descent: distribution -> aggregation -> gateway.
+        dist = _covering(built.dist_index.get(dst_asn, ()), dst)
+        if dist is None:
+            return CompiledPath(
+                hops,
+                TerminalKind.ERROR,
+                UnreachableCode.NO_ROUTE,
+                filter_index=filter_index,
+                filter_action=filter_action,
+                blocked=blocked,
+                mtu_profile=mtus,
+            )
+        options = built.dist_routers[dist.base]
+        router, iface = options[variant % len(options)]
+        push(router, iface)
+
+        alloc = _covering(built.alloc_index.get(dst_asn, ()), dst)
+        if alloc is None or not dist.covers(alloc):
+            return CompiledPath(
+                hops,
+                TerminalKind.ERROR,
+                UnreachableCode.ADDRESS_UNREACHABLE,
+                filter_index=filter_index,
+                filter_action=filter_action,
+                blocked=blocked,
+                mtu_profile=mtus,
+            )
+        options = built.agg_routers[alloc.base]
+        router, iface = options[variant % len(options)]
+        push(router, iface)
+
+        subnet = self.truth.subnet_of(dst)
+        if subnet is None:
+            return CompiledPath(
+                hops,
+                TerminalKind.ERROR,
+                UnreachableCode.ADDRESS_UNREACHABLE,
+                filter_index=filter_index,
+                filter_action=filter_action,
+                blocked=blocked,
+                mtu_profile=mtus,
+            )
+        push(subnet.gateway, subnet.gateway_addr)
+        return CompiledPath(
+            hops,
+            TerminalKind.LAN,
+            subnet=subnet,
+            filter_index=filter_index,
+            filter_action=filter_action,
+            blocked=blocked,
+            mtu_profile=mtus,
+        )
+
+    def _push_transit(self, hops, push, asn: int, variant: int) -> None:
+        """Append a transit AS's ingress border and a core router."""
+        borders = self.built.borders.get(asn, ())
+        if borders:
+            router, iface = borders[variant % len(borders)]
+            push(router, iface)
+        cores = self.built.cores.get(asn, ())
+        if cores:
+            router, iface = cores[variant % len(cores)]
+            push(router, iface)
+
+    def _as_route(self, from_asn: int, dst_asn: int, variant: int) -> List[int]:
+        """Valley-free AS hops strictly between the vantage's provider and
+        the destination AS (which contribute their own hops separately)."""
+        built = self.built
+        if dst_asn == from_asn:
+            return []
+        dst_as = self.truth.ases[dst_asn]
+        if dst_as.tier == 1:
+            return [] if dst_asn == from_asn else []
+        # Providers of the destination.
+        dst_providers = built.uplinks.get(dst_asn, [])
+        if from_asn in dst_providers:
+            return []
+        if dst_as.tier == 2:
+            # from (T2) -> shared T1 -> dst T2.
+            t1 = self._pick_shared_tier1(from_asn, dst_asn, variant)
+            return t1
+        # Destination is edge: descend via one of its providers.
+        dst_provider = dst_providers[variant % len(dst_providers)] if dst_providers else None
+        route: List[int] = []
+        if dst_provider is not None and dst_provider != from_asn:
+            route.extend(self._pick_shared_tier1(from_asn, dst_provider, variant))
+            route.append(dst_provider)
+        return route
+
+    def _pick_shared_tier1(self, a_asn: int, b_asn: int, variant: int) -> List[int]:
+        """Tier-1 hops linking two tier-2 ASes (empty when directly akin)."""
+        built = self.built
+        a_ups = built.uplinks.get(a_asn, [])
+        b_ups = built.uplinks.get(b_asn, [])
+        shared = [asn for asn in a_ups if asn in b_ups]
+        if shared:
+            return [shared[variant % len(shared)]]
+        if a_ups and b_ups:
+            t1_a = a_ups[variant % len(a_ups)]
+            t1_b = b_ups[variant % len(b_ups)]
+            if t1_a == t1_b:
+                return [t1_a]
+            return [t1_a, t1_b]
+        return []
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+    def probe(self, data: bytes, now: int) -> Optional[Response]:
+        """Inject probe bytes at virtual time ``now``; the vantage is
+        identified by the packet's source address.  Returns the response
+        (with its arrival delay) or None when the network stays silent."""
+        self.stats.probes += 1
+        header, payload = ipv6.split_packet(data)
+        vantage = self._vantage_by_addr.get(header.src)
+        if vantage is None:
+            raise ValueError(
+                "probe source %x is not a configured vantage" % header.src
+            )
+        variant = flow_variant(header, payload)
+        path = self.path_for(vantage, header.dst, variant)
+        hop_limit = header.hop_limit
+
+        filtered = (
+            path.filter_index is not None
+            and header.next_header in path.blocked
+            and hop_limit > path.filter_index
+        )
+        if filtered:
+            self.stats.filtered += 1
+            if path.filter_action != "admin":
+                return None
+            router, iface, delay = path.hops[path.filter_index - 1] if path.filter_index else path.hops[-1]
+            return self._icmp_error(
+                router,
+                iface,
+                delay,
+                icmpv6.TYPE_DEST_UNREACH,
+                int(UnreachableCode.ADMIN_PROHIBITED),
+                data,
+                header,
+                now,
+            )
+
+        break_index = path.mtu_break(len(data), hop_limit)
+        if break_index is not None:
+            # The packet exceeds a link MTU before its hop limit expires:
+            # the router at the bottleneck reports Packet Too Big.
+            router, iface, delay = path.hops[break_index]
+            self.stats.packet_too_big += 1
+            return self._icmp_error(
+                router,
+                iface,
+                delay,
+                icmpv6.TYPE_PACKET_TOO_BIG,
+                0,
+                data,
+                header,
+                now,
+                word=path.mtu_profile[break_index],
+            )
+
+        if hop_limit <= path.length:
+            router, iface, delay = path.hops[hop_limit - 1]
+            return self._icmp_error(
+                router,
+                iface,
+                delay,
+                icmpv6.TYPE_TIME_EXCEEDED,
+                icmpv6.CODE_HOP_LIMIT_EXCEEDED,
+                data,
+                header,
+                now,
+            )
+
+        # Probe outlives the path: terminal behaviour.
+        if path.terminal is TerminalKind.ERROR:
+            if not path.hops:
+                return None
+            router, iface, delay = path.hops[-1]
+            return self._icmp_error(
+                router,
+                iface,
+                delay,
+                icmpv6.TYPE_DEST_UNREACH,
+                int(path.error_code),
+                data,
+                header,
+                now,
+            )
+        if path.terminal is TerminalKind.ROUTER:
+            # The router answers probes to its own interface address.
+            router, _, delay = path.hops[-1]
+            return self._host_response(header, payload, delay, responder=router, now=now)
+        if path.terminal is TerminalKind.SILENT or path.subnet is None:
+            self.stats.silent_terminal += 1
+            return None
+        return self._deliver_lan(path, header, payload, data, now)
+
+    def _deliver_lan(
+        self,
+        path: CompiledPath,
+        header: IPv6Header,
+        payload: bytes,
+        data: bytes,
+        now: int,
+    ) -> Optional[Response]:
+        subnet = path.subnet
+        _, _, delay = path.hops[-1]
+        delay += 100  # LAN hop
+        if header.dst == subnet.gateway_addr:
+            # The probe targets the gateway's own LAN address (e.g. the
+            # ::1 synthesis hitting an active /64): the router answers
+            # like a host — echo reply / port unreachable / RST.
+            return self._host_response(
+                header, payload, delay, responder=subnet.gateway, now=now
+            )
+        if subnet.aliased or subnet.has_host(header.dst):
+            return self._host_response(header, payload, delay, now=now)
+        # Neighbour discovery fails; the gateway may report it.
+        router, iface, gw_delay = path.hops[-1]
+        if self._rng.random() < self.config.gateway_unreach_probability:
+            return self._icmp_error(
+                router,
+                iface,
+                gw_delay,
+                icmpv6.TYPE_DEST_UNREACH,
+                int(UnreachableCode.ADDRESS_UNREACHABLE),
+                data,
+                header,
+                now,
+            )
+        self.stats.silent_terminal += 1
+        return None
+
+    def _host_response(
+        self,
+        header: IPv6Header,
+        payload: bytes,
+        delay: int,
+        responder: Optional[Router] = None,
+        now: int = 0,
+    ) -> Optional[Response]:
+        """Terminal response from the destination itself — an end host, or
+        a router answering for one of its own addresses (``responder``)."""
+        if self._rng.random() < self.config.response_loss:
+            self.stats.lost += 1
+            return None
+        host = header.dst
+        if header.next_header == PROTO_ICMPV6:
+            try:
+                request = icmpv6.ICMPv6Message.unpack(payload)
+            except ipv6.PacketError:
+                return None
+            if request.msg_type == icmpv6.TYPE_PACKET_TOO_BIG:
+                # A too-small-MTU report: routers honour it by emitting
+                # atomic fragments toward the reporter (RFC 6946) — the
+                # state speedtrap alias resolution plants.
+                if responder is not None and request.word < icmpv6.MINIMUM_MTU:
+                    responder.note_packet_too_big(header.src, now + delay)
+                return None
+            if request.msg_type != icmpv6.TYPE_ECHO_REQUEST:
+                return None
+            reply = icmpv6.echo_reply(
+                request.identifier, request.sequence, request.body
+            )
+            reply_segment = reply.pack(host, header.src)
+            next_header = PROTO_ICMPV6
+            if responder is not None and responder.atomic_active(
+                header.src, now + delay
+            ):
+                identification = responder.frag_identification(now + delay)
+                reply_segment = fragment.wrap_atomic(
+                    PROTO_ICMPV6, identification, reply_segment
+                )
+                next_header = fragment.PROTO_FRAGMENT
+            packet = ipv6.build_packet(
+                IPv6Header(host, header.src, 0, next_header),
+                reply_segment,
+            )
+            self.stats.echo_replies += 1
+            return Response(2 * delay + 150, packet, "icmp6")
+        if header.next_header == PROTO_UDP:
+            # Closed port: the host itself sends port unreachable — but
+            # end hosts rate-limit their own ICMPv6 errors hard.
+            if self._rng.random() > self.config.host_error_probability:
+                self.stats.silent_terminal += 1
+                return None
+            error = icmpv6.destination_unreachable(
+                UnreachableCode.PORT_UNREACHABLE,
+                ipv6.build_packet(header, payload),
+            )
+            packet = ipv6.build_packet(
+                IPv6Header(host, header.src, 0, PROTO_ICMPV6),
+                error.pack(host, header.src),
+            )
+            self.stats.unreachables += 1
+            return Response(2 * delay + 150, packet, "icmp6")
+        if header.next_header == PROTO_TCP:
+            try:
+                seg, _ = tcp.split_segment(payload)
+            except ipv6.PacketError:
+                return None
+            rst = tcp.TCPHeader(
+                seg.dst_port,
+                seg.src_port,
+                seq=0,
+                ack=seg.seq + 1,
+                flags=tcp.FLAG_RST | tcp.FLAG_ACK,
+            )
+            packet = ipv6.build_packet(
+                IPv6Header(host, header.src, 0, PROTO_TCP),
+                tcp.build_segment(host, header.src, rst),
+            )
+            self.stats.tcp_responses += 1
+            return Response(2 * delay + 150, packet, "tcp")
+        return None
+
+    def _icmp_error(
+        self,
+        router: Router,
+        iface: int,
+        delay: int,
+        msg_type: int,
+        code: int,
+        invoking: bytes,
+        header: IPv6Header,
+        now: int,
+        word: int = 0,
+    ) -> Optional[Response]:
+        # Protocol-selective hops (observed in the wild, Section 4.2).
+        if (
+            router.respond_protocols is not None
+            and header.next_header not in router.respond_protocols
+        ):
+            return None
+        if router.response_probability < 1.0 and (
+            self._rng.random() > router.response_probability
+        ):
+            return None
+        # Mandated ICMPv6 error rate limiting, evaluated when the packet
+        # actually reaches the router in virtual time.
+        if not router.limiter.consume(now + delay):
+            self.stats.rate_limited += 1
+            return None
+        if self._rng.random() < self.config.response_loss:
+            self.stats.lost += 1
+            return None
+        quotation = self._quote(router, invoking)
+        if msg_type == icmpv6.TYPE_TIME_EXCEEDED:
+            message = icmpv6.ICMPv6Message(
+                icmpv6.TYPE_TIME_EXCEEDED, code, 0, quotation
+            )
+            self.stats.time_exceeded += 1
+        elif msg_type == icmpv6.TYPE_PACKET_TOO_BIG:
+            message = icmpv6.ICMPv6Message(
+                icmpv6.TYPE_PACKET_TOO_BIG, code, word, quotation
+            )
+        else:
+            message = icmpv6.ICMPv6Message(icmpv6.TYPE_DEST_UNREACH, code, 0, quotation)
+            self.stats.unreachables += 1
+        packet = ipv6.build_packet(
+            IPv6Header(iface, header.src, 0, PROTO_ICMPV6),
+            message.pack(iface, header.src),
+        )
+        return Response(2 * delay + 200, packet, "icmp6")
+
+    def _quote(self, router: Router, invoking: bytes) -> bytes:
+        """The invoking-packet quotation, with realistic misbehaviour for a
+        small deterministic subset of routers."""
+        behaviour = self._manglers.get(router.router_id)
+        quotation = invoking[: icmpv6.MAX_QUOTATION]
+        if behaviour == "truncate":
+            # IPv4-style minimal quote: IPv6 header + 8 bytes.
+            return quotation[:48]
+        if behaviour == "rewrite":
+            # A middlebox rewrote the destination's low bits.
+            mangled = bytearray(quotation)
+            if len(mangled) >= 40:
+                mangled[38] ^= 0x55
+            return bytes(mangled)
+        return quotation
+
+    # ------------------------------------------------------------------
+    # Ground-truth inspection helpers (tests / validation)
+    # ------------------------------------------------------------------
+    def trace_path(self, vantage_name: str, dst: int, variant: int = 0) -> CompiledPath:
+        return self.path_for(self.vantage(vantage_name), dst, variant)
+
+    def path_length(self, vantage_name: str, dst: int) -> int:
+        return self.trace_path(vantage_name, dst).length

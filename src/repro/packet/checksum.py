@@ -1,0 +1,100 @@
+"""Internet checksum (RFC 1071) and the IPv6 pseudo-header.
+
+Every upper-layer protocol carried over IPv6 — TCP, UDP and ICMPv6 —
+computes its checksum over a pseudo-header containing the source and
+destination addresses, the upper-layer packet length and the next-header
+value (RFC 8200 Section 8.1), followed by the transport header and
+payload.  Yarrp6 additionally exploits the algebra of the one's-complement
+sum: a 16-bit "fudge" field in its payload is chosen so that the transport
+checksum stays constant across probes whose payload varies (Section 4.1,
+Figure 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from ..addrs import address
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """One's-complement 16-bit sum over ``data`` (odd tail zero-padded)."""
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for index in range(0, length - 1, 2):
+        total += (data[index] << 8) | data[index + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """RFC 1071 Internet checksum: complement of the one's-complement sum."""
+    return ~ones_complement_sum(data, initial) & 0xFFFF
+
+
+def pseudo_header(src: int, dst: int, upper_length: int, next_header: int) -> bytes:
+    """IPv6 pseudo-header bytes for upper-layer checksumming (RFC 8200)."""
+    return (
+        address.to_bytes(src)
+        + address.to_bytes(dst)
+        + upper_length.to_bytes(4, "big")
+        + b"\x00\x00\x00"
+        + bytes([next_header & 0xFF])
+    )
+
+
+def transport_checksum(
+    src: int, dst: int, next_header: int, segment: bytes
+) -> int:
+    """Checksum of a transport segment including the IPv6 pseudo-header.
+
+    ``segment`` must have its own checksum field zeroed.
+    """
+    header = pseudo_header(src, dst, len(segment), next_header)
+    return internet_checksum(segment, ones_complement_sum(header))
+
+
+def verify_transport_checksum(
+    src: int, dst: int, next_header: int, segment: bytes
+) -> bool:
+    """True when a received segment's embedded checksum validates.
+
+    Computing the checksum over a segment that *includes* a correct
+    checksum field yields zero.
+    """
+    header = pseudo_header(src, dst, len(segment), next_header)
+    return internet_checksum(segment, ones_complement_sum(header)) == 0
+
+
+def checksum_fudge(segment_without_fudge_sum: int, desired: int) -> int:
+    """Fudge value making a segment's one's-complement sum hit ``desired``.
+
+    Given the one's-complement sum of everything else covered by the
+    checksum (pseudo-header + segment with the fudge field zeroed), return
+    the 16-bit value to place in the fudge field so the total sum equals
+    ``desired`` — and therefore the final checksum equals
+    ``~desired & 0xffff`` regardless of the varying payload contents.
+    """
+    current = segment_without_fudge_sum & 0xFFFF
+    desired &= 0xFFFF
+    # One's complement subtraction: desired = current (+) fudge.
+    fudge = desired - current
+    if fudge <= 0:
+        # In one's-complement arithmetic 0xFFFF acts as zero; adjust into
+        # the representable range.
+        fudge += 0xFFFF
+    return fudge & 0xFFFF
+
+
+def address_checksum(value: int) -> int:
+    """16-bit Internet checksum over an IPv6 address.
+
+    Yarrp6 places this in the TCP/UDP source port or ICMPv6 identifier to
+    detect in-path rewrites of the probe's destination address
+    (Section 4.1).  Values 0 is avoided since port 0 is pathological.
+    """
+    checksum = internet_checksum(address.to_bytes(value))
+    return checksum if checksum != 0 else 0xFFFF

@@ -1,0 +1,94 @@
+"""IPv6 Fragment extension header (RFC 8200 Section 4.5).
+
+Alias resolution à la speedtrap (Luckie et al., IMC 2013) turns on the
+32-bit fragment Identification counter IPv6 nodes stamp into fragment
+headers: interfaces of the same router draw from one counter, so
+interleaved samples from aliases form a single monotonic sequence.
+
+The relevant trick is the *atomic fragment* (RFC 6946): a complete
+packet nonetheless carrying a Fragment header (offset 0, M=0), which a
+node emits after receiving a Packet Too Big below the 1280-byte minimum
+MTU.  Speedtrap elicits those to read the counter without real
+fragmentation; this module provides the header plumbing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from .ipv6 import PacketError
+
+#: Next-header value of the Fragment extension header.
+PROTO_FRAGMENT = 44
+
+#: Extension header length in bytes.
+HEADER_LENGTH = 8
+
+
+class FragmentHeader:
+    """The 8-byte Fragment extension header."""
+
+    __slots__ = ("next_header", "offset", "more", "identification")
+
+    def __init__(self, next_header: int, identification: int, offset: int = 0, more: bool = False):
+        if not 0 <= offset < (1 << 13):
+            raise PacketError("fragment offset out of range: %r" % offset)
+        self.next_header = next_header & 0xFF
+        self.offset = offset
+        self.more = bool(more)
+        self.identification = identification & 0xFFFFFFFF
+
+    @property
+    def atomic(self) -> bool:
+        """True for an RFC 6946 atomic fragment (whole packet, one header)."""
+        return self.offset == 0 and not self.more
+
+    def pack(self) -> bytes:
+        offset_flags = (self.offset << 3) | (1 if self.more else 0)
+        return struct.pack(
+            "!BBHI", self.next_header, 0, offset_flags, self.identification
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FragmentHeader":
+        if len(data) < HEADER_LENGTH:
+            raise PacketError("short fragment header: %d bytes" % len(data))
+        next_header, _, offset_flags, identification = struct.unpack(
+            "!BBHI", data[:HEADER_LENGTH]
+        )
+        return cls(
+            next_header,
+            identification,
+            offset=offset_flags >> 3,
+            more=bool(offset_flags & 1),
+        )
+
+    def __repr__(self) -> str:
+        return "FragmentHeader(id=%#010x%s)" % (
+            self.identification,
+            ", atomic" if self.atomic else ", offset=%d more=%s" % (self.offset, self.more),
+        )
+
+
+def wrap_atomic(inner_next_header: int, identification: int, payload: bytes) -> bytes:
+    """Prefix ``payload`` with an atomic Fragment header."""
+    return FragmentHeader(inner_next_header, identification).pack() + payload
+
+
+def unwrap(payload: bytes) -> Tuple[FragmentHeader, bytes]:
+    """Split a Fragment extension header from the bytes following it."""
+    header = FragmentHeader.unpack(payload)
+    return header, payload[HEADER_LENGTH:]
+
+
+def extract_identification(next_header: int, payload: bytes) -> Optional[Tuple[int, int, bytes]]:
+    """If the payload starts with a Fragment header, return
+    (identification, inner next-header, inner bytes); else None."""
+    if next_header != PROTO_FRAGMENT:
+        return None
+    try:
+        header, inner = unwrap(payload)
+    except PacketError:
+        return None
+    return header.identification, header.next_header, inner

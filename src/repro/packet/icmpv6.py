@@ -1,0 +1,214 @@
+"""ICMPv6 (RFC 4443) message construction and parsing.
+
+Covers the message types active topology discovery lives on:
+
+* Echo Request / Echo Reply — the ICMPv6 probe transport;
+* Time Exceeded — the hop announcement elicited by TTL expiry, which must
+  quote as much of the invoking packet as fits (RFC 4443 Section 3.3:
+  "as much of invoking packet as possible without the ICMPv6 packet
+  exceeding the minimum IPv6 MTU") — Yarrp6's statelessness depends on
+  recovering its payload from these quotations;
+* Destination Unreachable with its codes (no route, administratively
+  prohibited, address unreachable, port unreachable, reject route), whose
+  distribution the paper reports in Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Optional
+
+from .checksum import transport_checksum, verify_transport_checksum
+from .ipv6 import PacketError
+
+# ICMPv6 type numbers (RFC 4443).
+TYPE_DEST_UNREACH = 1
+TYPE_PACKET_TOO_BIG = 2
+TYPE_TIME_EXCEEDED = 3
+TYPE_PARAM_PROBLEM = 4
+TYPE_ECHO_REQUEST = 128
+TYPE_ECHO_REPLY = 129
+
+# Time Exceeded codes.
+CODE_HOP_LIMIT_EXCEEDED = 0
+
+#: Minimum IPv6 MTU; an ICMPv6 error must not exceed it (RFC 4443 §2.4(c)).
+MINIMUM_MTU = 1280
+
+#: Bytes available for the invoking-packet quotation inside an error:
+#: minimum MTU minus the IPv6 header (40) and ICMPv6 header (8).
+MAX_QUOTATION = MINIMUM_MTU - 40 - 8
+
+
+class UnreachableCode(enum.IntEnum):
+    """Destination Unreachable codes (RFC 4443 Section 3.1)."""
+
+    NO_ROUTE = 0
+    ADMIN_PROHIBITED = 1
+    BEYOND_SCOPE = 2
+    ADDRESS_UNREACHABLE = 3
+    PORT_UNREACHABLE = 4
+    FAILED_POLICY = 5
+    REJECT_ROUTE = 6
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's Table 4 rows."""
+        return {
+            UnreachableCode.NO_ROUTE: "no route to destination",
+            UnreachableCode.ADMIN_PROHIBITED: "administratively prohibited",
+            UnreachableCode.BEYOND_SCOPE: "beyond scope of source",
+            UnreachableCode.ADDRESS_UNREACHABLE: "address unreachable",
+            UnreachableCode.PORT_UNREACHABLE: "port unreachable",
+            UnreachableCode.FAILED_POLICY: "source address failed policy",
+            UnreachableCode.REJECT_ROUTE: "reject route to destination",
+        }[self]
+
+
+class ICMPv6Message:
+    """A parsed ICMPv6 message: type, code, 4-byte body word, and body.
+
+    For echo messages the body word holds (identifier, sequence); for
+    errors it is unused (zero) and ``body`` is the invoking-packet
+    quotation.
+    """
+
+    __slots__ = ("msg_type", "code", "word", "body", "checksum")
+
+    def __init__(
+        self,
+        msg_type: int,
+        code: int,
+        word: int = 0,
+        body: bytes = b"",
+        checksum: int = 0,
+    ):
+        self.msg_type = msg_type & 0xFF
+        self.code = code & 0xFF
+        self.word = word & 0xFFFFFFFF
+        self.body = body
+        self.checksum = checksum & 0xFFFF
+
+    # -- echo accessors -------------------------------------------------
+    @property
+    def identifier(self) -> int:
+        """Echo identifier (high half of the body word)."""
+        return self.word >> 16
+
+    @property
+    def sequence(self) -> int:
+        """Echo sequence number (low half of the body word)."""
+        return self.word & 0xFFFF
+
+    @property
+    def quotation(self) -> bytes:
+        """The invoking-packet quotation of an error message."""
+        return self.body
+
+    @property
+    def is_error(self) -> bool:
+        """ICMPv6 errors have type < 128 (RFC 4443 Section 2.1)."""
+        return self.msg_type < 128
+
+    @property
+    def is_time_exceeded(self) -> bool:
+        return self.msg_type == TYPE_TIME_EXCEEDED
+
+    @property
+    def is_echo_reply(self) -> bool:
+        return self.msg_type == TYPE_ECHO_REPLY
+
+    def pack(self, src: int = 0, dst: int = 0, compute_checksum: bool = True) -> bytes:
+        """Serialize; when ``compute_checksum`` the pseudo-header checksum
+        for (src, dst) is filled in, else the stored checksum is used."""
+        segment = (
+            struct.pack("!BBH", self.msg_type, self.code, 0)
+            + self.word.to_bytes(4, "big")
+            + self.body
+        )
+        if compute_checksum:
+            value = transport_checksum(src, dst, 58, segment)
+        else:
+            value = self.checksum
+        return segment[:2] + value.to_bytes(2, "big") + segment[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ICMPv6Message":
+        """Parse an ICMPv6 segment (at least the 8-byte header)."""
+        if len(data) < 8:
+            raise PacketError("short ICMPv6 segment: %d bytes" % len(data))
+        msg_type, code, checksum = struct.unpack("!BBH", data[:4])
+        word = int.from_bytes(data[4:8], "big")
+        return cls(msg_type, code, word, data[8:], checksum)
+
+    def verify(self, src: int, dst: int) -> bool:
+        """Validate the embedded checksum against (src, dst)."""
+        packed = self.pack(compute_checksum=False)
+        return verify_transport_checksum(src, dst, 58, packed)
+
+    def __repr__(self) -> str:
+        return "ICMPv6Message(type=%d, code=%d, body=%dB)" % (
+            self.msg_type,
+            self.code,
+            len(self.body),
+        )
+
+
+def echo_request(identifier: int, sequence: int, payload: bytes = b"") -> ICMPv6Message:
+    """Build an Echo Request (the paper's preferred probe type)."""
+    word = ((identifier & 0xFFFF) << 16) | (sequence & 0xFFFF)
+    return ICMPv6Message(TYPE_ECHO_REQUEST, 0, word, payload)
+
+
+def echo_reply(identifier: int, sequence: int, payload: bytes = b"") -> ICMPv6Message:
+    """Build an Echo Reply mirroring a request."""
+    word = ((identifier & 0xFFFF) << 16) | (sequence & 0xFFFF)
+    return ICMPv6Message(TYPE_ECHO_REPLY, 0, word, payload)
+
+
+def time_exceeded(invoking_packet: bytes) -> ICMPv6Message:
+    """Build a Time Exceeded (hop limit) error quoting the invoking packet.
+
+    The quotation is truncated to fit the minimum-MTU bound; with IPv6
+    this is generous enough to return entire probe packets, which is what
+    lets Yarrp6 move its state into the payload (Section 4.1).
+    """
+    return ICMPv6Message(
+        TYPE_TIME_EXCEEDED,
+        CODE_HOP_LIMIT_EXCEEDED,
+        0,
+        invoking_packet[:MAX_QUOTATION],
+    )
+
+
+def destination_unreachable(
+    code: UnreachableCode, invoking_packet: bytes
+) -> ICMPv6Message:
+    """Build a Destination Unreachable error quoting the invoking packet."""
+    return ICMPv6Message(
+        TYPE_DEST_UNREACH, int(code), 0, invoking_packet[:MAX_QUOTATION]
+    )
+
+
+def classify_response(message: ICMPv6Message) -> str:
+    """Table 4 style label for a response message."""
+    if message.msg_type == TYPE_TIME_EXCEEDED:
+        return "time exceeded"
+    if message.msg_type == TYPE_ECHO_REPLY:
+        return "echo reply"
+    if message.msg_type == TYPE_DEST_UNREACH:
+        try:
+            return UnreachableCode(message.code).label()
+        except ValueError:
+            return "destination unreachable (code %d)" % message.code
+    return "icmpv6 type %d" % message.msg_type
+
+
+def unreachable_code(message: ICMPv6Message) -> Optional[UnreachableCode]:
+    """The UnreachableCode of a Destination Unreachable, else None."""
+    if message.msg_type != TYPE_DEST_UNREACH:
+        return None
+    try:
+        return UnreachableCode(message.code)
+    except ValueError:
+        return None

@@ -1,0 +1,64 @@
+"""UDP header (RFC 768) over IPv6."""
+
+from __future__ import annotations
+
+import struct
+
+from .checksum import transport_checksum, verify_transport_checksum
+from .ipv6 import PacketError
+
+HEADER_LENGTH = 8
+
+
+class UDPHeader:
+    """An 8-byte UDP header plus helpers for checksummed datagrams."""
+
+    __slots__ = ("src_port", "dst_port", "length", "checksum")
+
+    def __init__(self, src_port: int, dst_port: int, length: int = 0, checksum: int = 0):
+        for name, value in (("src_port", src_port), ("dst_port", dst_port)):
+            if not 0 <= value <= 0xFFFF:
+                raise PacketError("%s out of range: %r" % (name, value))
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+        self.checksum = checksum
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < HEADER_LENGTH:
+            raise PacketError("short UDP header: %d bytes" % len(data))
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port, dst_port, length, checksum)
+
+    def __repr__(self) -> str:
+        return "UDPHeader(%d -> %d, len=%d)" % (self.src_port, self.dst_port, self.length)
+
+
+def build_datagram(
+    src: int, dst: int, src_port: int, dst_port: int, payload: bytes
+) -> bytes:
+    """A complete UDP segment with the IPv6 pseudo-header checksum set."""
+    length = HEADER_LENGTH + len(payload)
+    header = UDPHeader(src_port, dst_port, length, 0)
+    segment = header.pack() + payload
+    value = transport_checksum(src, dst, 17, segment)
+    if value == 0:
+        value = 0xFFFF  # RFC 2460: zero transmitted as all-ones for UDP.
+    return segment[:6] + value.to_bytes(2, "big") + segment[8:]
+
+
+def split_datagram(data: bytes):
+    """Parse a UDP segment into (header, payload bytes)."""
+    header = UDPHeader.unpack(data)
+    return header, data[HEADER_LENGTH:]
+
+
+def verify_datagram(src: int, dst: int, segment: bytes) -> bool:
+    """Validate a received UDP segment's checksum."""
+    return verify_transport_checksum(src, dst, 17, segment)

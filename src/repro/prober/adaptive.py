@@ -1,0 +1,144 @@
+"""Adaptive-rate probing: detect rate limiting, back off, recover.
+
+Alvarez, Oprea and Rula (IETF 99 MAPRG; cited as the paper's [3])
+mitigate ICMPv6 rate limiting in a stateful prober by adjusting
+transmission behaviour.  This module grafts the same idea onto Yarrp6:
+an AIMD controller watches the response rate of the near hops (the ones
+every trace shares, and the first to collapse) over sliding windows,
+halves the probing rate when responsiveness sags below a low-water mark,
+and creeps back up additively while the near hops stay healthy.
+
+The result trades completion time for responsiveness — useful when the
+operator cannot know the path's token-bucket provisioning in advance
+(which is always).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.engine import Engine, US_PER_SECOND, pps_interval
+from ..netsim.internet import Internet
+from .campaign import CampaignResult
+from .yarrp6 import Yarrp6, Yarrp6Config
+
+
+@dataclass
+class AdaptiveConfig:
+    """AIMD controller parameters."""
+
+    initial_pps: float = 2000.0
+    min_pps: float = 50.0
+    max_pps: float = 10_000.0
+    #: Controller evaluation window.
+    window_us: int = 250_000
+    #: TTLs counted as the "near neighborhood" whose health is watched.
+    near_ttl: int = 3
+    #: Below this near-hop response fraction, halve the rate.
+    low_water: float = 0.7
+    #: Above this, increase the rate additively.
+    high_water: float = 0.9
+    #: Additive increase per healthy window (pps).
+    increase: float = 200.0
+
+
+class RateController:
+    """AIMD over windowed near-hop responsiveness."""
+
+    def __init__(self, config: AdaptiveConfig):
+        self.config = config
+        self.pps = config.initial_pps
+        self.near_sent = 0
+        self.near_answered = 0
+        #: (virtual time, pps, observed fraction) per adjustment window.
+        self.history: List[Tuple[int, float, float]] = []
+
+    def on_probe(self, ttl: int) -> None:
+        if ttl <= self.config.near_ttl:
+            self.near_sent += 1
+
+    def on_response(self, ttl: int) -> None:
+        if ttl <= self.config.near_ttl:
+            self.near_answered += 1
+
+    def evaluate(self, now: int) -> float:
+        """Close the current window and return the (new) rate."""
+        config = self.config
+        if self.near_sent >= 5:
+            fraction = self.near_answered / self.near_sent
+            if fraction < config.low_water:
+                self.pps = max(config.min_pps, self.pps / 2)
+            elif fraction > config.high_water:
+                self.pps = min(config.max_pps, self.pps + config.increase)
+            self.history.append((now, self.pps, fraction))
+        self.near_sent = 0
+        self.near_answered = 0
+        return self.pps
+
+
+def run_adaptive_yarrp6(
+    internet: Internet,
+    vantage_name: str,
+    targets: Sequence[int],
+    config: Optional[AdaptiveConfig] = None,
+    yarrp_config: Optional[Yarrp6Config] = None,
+    reset: bool = True,
+) -> Tuple[CampaignResult, RateController]:
+    """Yarrp6 campaign under AIMD rate control.
+
+    Returns the campaign result plus the controller (whose ``history``
+    records the rate trajectory).
+    """
+    config = config or AdaptiveConfig()
+    if reset:
+        internet.reset_dynamics()
+    vantage = internet.vantage(vantage_name)
+    machine = Yarrp6(vantage.address, targets, yarrp_config)
+    controller = RateController(config)
+    engine = Engine()
+
+    state = {"interval": pps_interval(controller.pps), "window_end": config.window_us}
+
+    def tick() -> None:
+        if engine.now >= state["window_end"]:
+            rate = controller.evaluate(engine.now)
+            state["interval"] = pps_interval(rate)
+            state["window_end"] = engine.now + config.window_us
+        packet = machine.next_probe(engine.now)
+        if packet is None:
+            if not machine.exhausted:
+                engine.schedule(state["interval"], tick)
+            return
+        # Hop limit byte of the IPv6 header drives the near-hop counter.
+        controller.on_probe(packet[7])
+        response = internet.probe(packet, engine.now)
+        if response is not None:
+            data = response.data
+            def deliver(data=data):
+                record = machine.receive(data, engine.now)
+                if record is not None and record.is_time_exceeded:
+                    controller.on_response(record.ttl)
+            engine.schedule(response.delay_us, deliver)
+        engine.schedule(state["interval"], tick)
+
+    engine.schedule(0, tick)
+    engine.run()
+
+    processor = machine.processor
+    result = CampaignResult(
+        name="%s/adaptive-yarrp6" % vantage_name,
+        vantage=vantage_name,
+        prober="adaptive-yarrp6",
+        pps=config.initial_pps,
+        targets=len(targets),
+        sent=machine.sent,
+        records=processor.records,
+        interfaces=set(processor.interfaces),
+        curve=list(processor.curve),
+        response_labels=dict(processor.response_labels),
+        summary=machine.summary(),
+        duration_us=engine.now,
+        traces=len(targets),
+    )
+    return result, controller

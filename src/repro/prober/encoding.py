@@ -1,0 +1,223 @@
+"""Yarrp6 stateless probe encoding (Figure 4 of the paper).
+
+Everything the prober will later need to interpret a response is carried
+*inside the probe itself* and recovered from the ICMPv6 error quotation:
+
+=========  ====  =====================================================
+field      size  purpose
+=========  ====  =====================================================
+magic      4 B   discriminates Yarrp6 probes from stray ICMPv6
+instance   1 B   discriminates concurrent prober instances
+TTL        1 B   originating hop limit (the hop index of the response)
+elapsed    4 B   µs send timestamp (truncated) for RTT computation
+fudge      2 B   keeps the transport checksum constant per target
+=========  ====  =====================================================
+
+The TCP/UDP source port (or ICMPv6 identifier) carries an Internet
+checksum of the target address, detecting en-route rewrites of the
+destination; the destination port (or ICMPv6 sequence) is 80.  Keeping
+every header byte — including the checksum, which deployed load
+balancers hash for ICMPv6 — constant per target keeps all probes for a
+target on a single ECMP path (Paris-traceroute behaviour for free).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..addrs import address
+from ..packet import icmpv6, ipv6, tcp, udp
+from ..packet.checksum import (
+    address_checksum,
+    checksum_fudge,
+    ones_complement_sum,
+    pseudo_header,
+)
+from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, IPv6Header, PacketError
+
+#: "yp6\0" — the Yarrp6 payload magic.
+MAGIC = 0x79503600
+
+#: Fixed destination port / ICMPv6 sequence number (Figure 4).
+DEST_PORT = 80
+
+#: Payload length: magic + instance + TTL + elapsed + fudge.
+PAYLOAD_LENGTH = 12
+
+#: The constant one's-complement sum every probe's checksummed region is
+#: steered to via the fudge field; the emitted checksum is its complement.
+TARGET_SUM = 0xBEEF
+
+#: Protocol name -> next-header value.
+PROTOCOLS = {"icmp6": PROTO_ICMPV6, "udp": PROTO_UDP, "tcp": PROTO_TCP}
+
+
+class DecodeError(ValueError):
+    """Raised when a quotation cannot be interpreted as a Yarrp6 probe."""
+
+
+class DecodedProbe:
+    """State recovered from a quoted probe."""
+
+    __slots__ = ("target", "ttl", "elapsed", "instance", "protocol", "target_modified")
+
+    def __init__(
+        self,
+        target: int,
+        ttl: int,
+        elapsed: int,
+        instance: int,
+        protocol: int,
+        target_modified: bool,
+    ):
+        self.target = target
+        self.ttl = ttl
+        self.elapsed = elapsed
+        self.instance = instance
+        self.protocol = protocol
+        #: True when the quoted destination fails its checksum — some
+        #: middlebox rewrote the address en route.
+        self.target_modified = target_modified
+
+    def __repr__(self) -> str:
+        return "DecodedProbe(%s, ttl=%d%s)" % (
+            address.format_address(self.target),
+            self.ttl,
+            ", MODIFIED" if self.target_modified else "",
+        )
+
+
+def _payload_with_fudge(
+    src: int,
+    target: int,
+    proto: int,
+    fixed_header: bytes,
+    instance: int,
+    ttl: int,
+    elapsed: int,
+    desired_sum: int = TARGET_SUM,
+) -> bytes:
+    """The 12-byte Yarrp6 payload, fudged so that the transport checksum
+    over (pseudo-header + fixed transport header + payload) lands on the
+    chosen constant (``TARGET_SUM`` shifted by the flow id)."""
+    head = struct.pack("!IBBI", MAGIC, instance & 0xFF, ttl & 0xFF, elapsed & 0xFFFFFFFF)
+    length = len(fixed_header) + PAYLOAD_LENGTH
+    base = ones_complement_sum(pseudo_header(src, target, length, proto))
+    base = ones_complement_sum(fixed_header + head, base)
+    fudge = checksum_fudge(base, desired_sum)
+    return head + fudge.to_bytes(2, "big")
+
+
+def encode_probe(
+    src: int,
+    target: int,
+    ttl: int,
+    elapsed: int,
+    instance: int = 1,
+    protocol: str = "icmp6",
+    flow_id: int = 0,
+) -> bytes:
+    """Build complete probe packet bytes for (target, TTL).
+
+    ``flow_id`` shifts the constant the checksum is fudged to: flow 0 is
+    the Paris-stable default; nonzero flows present a *different but
+    still per-flow-constant* checksum, steering ECMP hashes onto other
+    paths — the Multipath Detection (MDA) technique for enumerating
+    load-balanced siblings.
+    """
+    proto = PROTOCOLS.get(protocol)
+    if proto is None:
+        raise ValueError("unknown protocol %r" % protocol)
+    sport = address_checksum(target)
+    desired_sum = (TARGET_SUM + flow_id) & 0xFFFF
+
+    if proto == PROTO_ICMPV6:
+        # type, code, zero checksum, id, seq — checksum inserted below.
+        fixed = struct.pack(
+            "!BBHHH", icmpv6.TYPE_ECHO_REQUEST, 0, 0, sport, DEST_PORT
+        )
+        payload = _payload_with_fudge(
+            src, target, proto, fixed, instance, ttl, elapsed, desired_sum
+        )
+        segment = fixed + payload
+        checksum = (~desired_sum) & 0xFFFF
+        segment = segment[:2] + checksum.to_bytes(2, "big") + segment[4:]
+    elif proto == PROTO_UDP:
+        length = udp.HEADER_LENGTH + PAYLOAD_LENGTH
+        fixed = struct.pack("!HHHH", sport, DEST_PORT, length, 0)
+        payload = _payload_with_fudge(
+            src, target, proto, fixed, instance, ttl, elapsed, desired_sum
+        )
+        segment = fixed + payload
+        checksum = (~desired_sum) & 0xFFFF
+        segment = segment[:6] + checksum.to_bytes(2, "big") + segment[8:]
+    else:  # TCP SYN
+        header = tcp.TCPHeader(sport, DEST_PORT, seq=0, flags=tcp.FLAG_SYN)
+        fixed = header.pack()
+        payload = _payload_with_fudge(
+            src, target, proto, fixed, instance, ttl, elapsed, desired_sum
+        )
+        segment = fixed + payload
+        checksum = (~desired_sum) & 0xFFFF
+        segment = segment[:16] + checksum.to_bytes(2, "big") + segment[18:]
+
+    header = IPv6Header(src, target, 0, proto, hop_limit=ttl)
+    return ipv6.build_packet(header, segment)
+
+
+#: Transport header lengths by next-header value.
+_TRANSPORT_LENGTH = {PROTO_ICMPV6: 8, PROTO_UDP: 8, PROTO_TCP: 20}
+
+
+def decode_quotation(quotation: bytes, instance: Optional[int] = None) -> DecodedProbe:
+    """Recover Yarrp6 probe state from an ICMPv6 error quotation.
+
+    Raises :class:`DecodeError` for non-Yarrp6 or hopelessly truncated
+    quotations (distinguishing "someone else's packet" from "our packet,
+    mangled" via the magic and the target checksum respectively).
+    """
+    try:
+        header, rest = ipv6.split_packet(quotation)
+    except PacketError as error:
+        raise DecodeError("unparseable quotation: %s" % error) from None
+    transport_length = _TRANSPORT_LENGTH.get(header.next_header)
+    if transport_length is None:
+        raise DecodeError("unexpected protocol %d in quotation" % header.next_header)
+    if len(rest) < transport_length + PAYLOAD_LENGTH - 2:
+        # The fudge bytes are expendable; everything before them is not.
+        raise DecodeError(
+            "quotation truncated to %d bytes of transport" % len(rest)
+        )
+    payload = rest[transport_length:]
+    try:
+        magic, probe_instance, ttl, elapsed = struct.unpack(
+            "!IBBI", payload[:10]
+        )
+    except struct.error:
+        raise DecodeError("quotation payload too short") from None
+    if magic != MAGIC:
+        raise DecodeError("bad magic %08x" % magic)
+    if instance is not None and probe_instance != instance:
+        raise DecodeError(
+            "instance mismatch: probe %d, ours %d" % (probe_instance, instance)
+        )
+    # Source port / ICMPv6 identifier carries the target checksum.
+    if header.next_header == PROTO_ICMPV6:
+        sport = struct.unpack("!H", rest[4:6])[0]
+    else:
+        sport = struct.unpack("!H", rest[0:2])[0]
+    modified = sport != address_checksum(header.dst)
+    return DecodedProbe(
+        target=header.dst,
+        ttl=ttl,
+        elapsed=elapsed,
+        instance=probe_instance,
+        protocol=header.next_header,
+        target_modified=modified,
+    )
+
+
+def rtt_from(elapsed: int, now: int) -> int:
+    """Round-trip time from a 32-bit truncated send timestamp."""
+    return (now - elapsed) & 0xFFFFFFFF

@@ -1,0 +1,140 @@
+"""Keyed random permutation of the probe space.
+
+Yarrp's central idea is to walk the (target × TTL) space in a pseudo-
+random order so that no router sees a burst of TTL-limited probes —
+spreading the ICMPv6 rate-limiter load across the whole network while
+keeping the prober stateless: the permutation is a *bijection*, so every
+pair is probed exactly once, and the walk needs only a counter.
+
+The original Yarrp uses an RC5-based cipher; we implement the same
+construction generically: a balanced Feistel network over the smallest
+even-bit-width domain covering ``n``, with cycle-walking to restrict the
+bijection to ``[0, n)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, Tuple
+
+#: Feistel rounds; four suffice for statistical mixing (this is not a
+#: security boundary, just burst-avoidance).
+ROUNDS = 4
+
+
+class KeyedPermutation:
+    """A keyed bijection over ``[0, n)``.
+
+    ``perm[i]`` maps index i to a unique value in [0, n); iteration in
+    index order therefore visits every value exactly once in a key-
+    dependent pseudorandom order.
+    """
+
+    def __init__(self, n: int, key: int):
+        if n < 1:
+            raise ValueError("domain must be positive: %r" % n)
+        self.n = n
+        self.key = key
+        # Smallest even bit width whose 2^bits >= n.
+        bits = max(2, (n - 1).bit_length())
+        if bits % 2:
+            bits += 1
+        self._bits = bits
+        self._half = bits // 2
+        self._mask = (1 << self._half) - 1
+        self._round_keys = [
+            int.from_bytes(
+                hashlib.blake2b(
+                    b"yarrp6-perm" + key.to_bytes(16, "big") + bytes([round_index]),
+                    digest_size=8,
+                ).digest(),
+                "big",
+            )
+            for round_index in range(ROUNDS)
+        ]
+
+    def _round(self, value: int, round_key: int) -> int:
+        """Feistel round function: a cheap 64-bit mixer."""
+        value = (value ^ round_key) & 0xFFFFFFFFFFFFFFFF
+        value = (value * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 29
+        value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 32
+        return value & self._mask
+
+    def _encrypt(self, value: int) -> int:
+        left = value >> self._half
+        right = value & self._mask
+        for round_key in self._round_keys:
+            left, right = right, left ^ self._round(right, round_key)
+        return (left << self._half) | right
+
+    def __getitem__(self, index: int) -> int:
+        """Image of ``index``; cycle-walks until it lands inside [0, n)."""
+        if not 0 <= index < self.n:
+            raise IndexError("index %d out of range [0, %d)" % (index, self.n))
+        value = self._encrypt(index)
+        while value >= self.n:
+            value = self._encrypt(value)
+        return value
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self.n):
+            yield self[index]
+
+
+class ProbeSchedule:
+    """The permuted (target, TTL) walk Yarrp6 emits.
+
+    Indexes the flat target×TTL space through a :class:`KeyedPermutation`
+    so consecutive emissions hit unrelated (destination, hop) pairs.
+
+    **Sharding** (real Yarrp's multi-worker mode): worker ``shard`` of
+    ``shards`` walks the permutation positions congruent to its id, so N
+    cooperating instances cover every pair exactly once with no shared
+    state and no coordination beyond agreeing on the key.
+    """
+
+    def __init__(
+        self,
+        n_targets: int,
+        ttl_min: int,
+        ttl_max: int,
+        key: int,
+        shard: int = 0,
+        shards: int = 1,
+    ):
+        if not 1 <= ttl_min <= ttl_max <= 255:
+            raise ValueError("bad TTL range [%d, %d]" % (ttl_min, ttl_max))
+        if n_targets < 1:
+            raise ValueError("no targets")
+        if shards < 1 or not 0 <= shard < shards:
+            raise ValueError("bad shard %d of %d" % (shard, shards))
+        self.n_targets = n_targets
+        self.ttl_min = ttl_min
+        self.ttl_max = ttl_max
+        self.n_ttls = ttl_max - ttl_min + 1
+        self.shard = shard
+        self.shards = shards
+        space = n_targets * self.n_ttls
+        #: Emissions this shard owns.
+        self.total = (space - shard + shards - 1) // shards
+        self._space = space
+        self._perm = KeyedPermutation(space, key)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def pair(self, index: int) -> Tuple[int, int]:
+        """(target index, TTL) for this shard's emission number ``index``."""
+        if not 0 <= index < self.total:
+            raise IndexError("emission %d out of range" % index)
+        value = self._perm[self.shard + index * self.shards]
+        return value // self.n_ttls, self.ttl_min + (value % self.n_ttls)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        for index in range(self.total):
+            yield self.pair(index)

@@ -1,0 +1,182 @@
+"""Probe result records and shared response-processing machinery.
+
+Every prober in the library — Yarrp6, the sequential (scamper-like)
+baseline, and Doubletree — receives the same kinds of packets back from
+the network: ICMPv6 Time Exceeded with a quotation, terminal ICMPv6
+errors, Echo Replies, and TCP RSTs.  :class:`ResponseProcessor` turns raw
+response bytes into :class:`ProbeRecord` entries and keeps the counters
+the evaluation reads (interface discovery curve, response-type mix,
+decode failures, detected target rewrites).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..packet import icmpv6, ipv6
+from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP
+from .encoding import DecodeError, decode_quotation, rtt_from
+
+
+class ProbeRecord:
+    """One response attributed to one probe."""
+
+    __slots__ = (
+        "target",
+        "ttl",
+        "hop",
+        "icmp_type",
+        "icmp_code",
+        "label",
+        "rtt_us",
+        "received_at",
+        "target_modified",
+    )
+
+    def __init__(
+        self,
+        target: int,
+        ttl: int,
+        hop: int,
+        icmp_type: int,
+        icmp_code: int,
+        label: str,
+        rtt_us: int,
+        received_at: int,
+        target_modified: bool = False,
+    ):
+        self.target = target
+        #: Originating hop limit of the probe (the hop index answered).
+        self.ttl = ttl
+        #: Source address of the response — an interface address in the
+        #: paper's terminology.
+        self.hop = hop
+        self.icmp_type = icmp_type
+        self.icmp_code = icmp_code
+        #: Human-readable response class (Table 4 rows).
+        self.label = label
+        self.rtt_us = rtt_us
+        self.received_at = received_at
+        self.target_modified = target_modified
+
+    @property
+    def is_time_exceeded(self) -> bool:
+        return self.icmp_type == icmpv6.TYPE_TIME_EXCEEDED
+
+    @property
+    def is_terminal(self) -> bool:
+        """A response that ends a path: echo reply or destination error."""
+        return not self.is_time_exceeded
+
+    def __repr__(self) -> str:
+        return "ProbeRecord(ttl=%d, %s)" % (self.ttl, self.label)
+
+
+class ResponseProcessor:
+    """Decodes response packets into records and aggregates statistics."""
+
+    def __init__(self, instance: Optional[int] = None):
+        self.instance = instance
+        self.records: List[ProbeRecord] = []
+        #: Unique response source addresses from ICMPv6 *Time Exceeded*
+        #: messages — the paper's "interface address" definition (§4.2).
+        self.interfaces: Set[int] = set()
+        #: Unique sources of any ICMPv6 response (superset of the above).
+        self.responders: Set[int] = set()
+        #: (probes_sent, unique_interfaces) checkpoints for Figure 7.
+        self.curve: List[Tuple[int, int]] = []
+        self.received = 0
+        self.tcp_responses = 0
+        self.decode_failures = 0
+        self.foreign = 0
+        self.mangled_targets = 0
+        self.response_labels: Dict[str, int] = {}
+
+    def process(self, data: bytes, now: int, sent_so_far: int) -> Optional[ProbeRecord]:
+        """Interpret response bytes; returns the record, or None when the
+        packet is foreign/undecodable (still counted)."""
+        self.received += 1
+        try:
+            header, payload = ipv6.split_packet(data)
+        except ipv6.PacketError:
+            self.decode_failures += 1
+            return None
+        if header.next_header == PROTO_TCP:
+            self.tcp_responses += 1
+            return None
+        if header.next_header != PROTO_ICMPV6:
+            self.foreign += 1
+            return None
+        try:
+            message = icmpv6.ICMPv6Message.unpack(payload)
+        except ipv6.PacketError:
+            self.decode_failures += 1
+            return None
+
+        if message.is_echo_reply:
+            record = self._from_echo_reply(header, message, now)
+        elif message.is_error:
+            record = self._from_error(header, message, now)
+        else:
+            self.foreign += 1
+            return None
+        if record is None:
+            return None
+
+        self.records.append(record)
+        label_count = self.response_labels.get(record.label, 0)
+        self.response_labels[record.label] = label_count + 1
+        if record.target_modified:
+            self.mangled_targets += 1
+        self.responders.add(record.hop)
+        if record.is_time_exceeded and record.hop not in self.interfaces:
+            self.interfaces.add(record.hop)
+            self.curve.append((sent_so_far, len(self.interfaces)))
+        return record
+
+    def _from_echo_reply(
+        self, header: ipv6.IPv6Header, message: icmpv6.ICMPv6Message, now: int
+    ) -> Optional[ProbeRecord]:
+        """Echo replies mirror our 12-byte payload; recover state from it."""
+        body = message.body
+        if len(body) < 10:
+            self.decode_failures += 1
+            return None
+        import struct
+
+        from .encoding import MAGIC
+
+        magic, instance, ttl, elapsed = struct.unpack("!IBBI", body[:10])
+        if magic != MAGIC or (self.instance is not None and instance != self.instance):
+            self.foreign += 1
+            return None
+        return ProbeRecord(
+            target=header.src,
+            ttl=ttl,
+            hop=header.src,
+            icmp_type=message.msg_type,
+            icmp_code=message.code,
+            label="echo reply",
+            rtt_us=rtt_from(elapsed, now),
+            received_at=now,
+        )
+
+    def _from_error(
+        self, header: ipv6.IPv6Header, message: icmpv6.ICMPv6Message, now: int
+    ) -> Optional[ProbeRecord]:
+        try:
+            decoded = decode_quotation(message.quotation, self.instance)
+        except DecodeError:
+            self.decode_failures += 1
+            return None
+        return ProbeRecord(
+            target=decoded.target,
+            ttl=decoded.ttl,
+            hop=header.src,
+            icmp_type=message.msg_type,
+            icmp_code=message.code,
+            label=icmpv6.classify_response(message),
+            rtt_us=rtt_from(decoded.elapsed, now),
+            received_at=now,
+            target_modified=decoded.target_modified,
+        )

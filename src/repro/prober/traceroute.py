@@ -1,0 +1,155 @@
+"""Sequential (scamper-style) traceroute baseline.
+
+Production systems trace each destination with sequentially increasing
+TTLs, running a window of traces concurrently.  Because traces start
+together and advance in lockstep, the wire exhibits *per-TTL waves*: a
+burst of TTL=1 probes (all absorbed by the handful of near-vantage
+routers), then a burst of TTL=2 probes, and so on — precisely the packet
+timing the paper's captures show ("per-TTL bursty behavior ... as traces
+remain synchronized", Section 4.2), and the behaviour that drains ICMPv6
+token buckets at high probing rates (Figure 5).
+
+Paris-traceroute semantics come for free: probes reuse Yarrp6's
+per-target-constant header encoding, so flows stay on one ECMP path.
+
+Per-trace early termination mirrors scamper: a trace stops once the
+destination answers, a terminal ICMPv6 error arrives, or ``gap_limit``
+consecutive hops have gone unanswered (evaluated with a two-wave lag so
+in-flight responses get counted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from .encoding import encode_probe
+from .records import ProbeRecord, ResponseProcessor
+
+
+@dataclass
+class SequentialConfig:
+    max_ttl: int = 16
+    protocol: str = "icmp6"
+    instance: int = 2
+    #: Concurrent traces per block (scamper's window).
+    window: int = 500
+    #: Consecutive unresponsive hops after which a trace is abandoned.
+    gap_limit: int = 5
+    #: Waves of lag before counting a hop as unresponsive (covers RTT).
+    response_lag_waves: int = 2
+
+
+class _TraceState:
+    __slots__ = ("target", "alive", "responded_ttls", "terminal")
+
+    def __init__(self, target: int):
+        self.target = target
+        self.alive = True
+        self.responded_ttls: Set[int] = set()
+        self.terminal = False
+
+
+class SequentialProber:
+    """Lockstep-windowed sequential tracer."""
+
+    def __init__(
+        self,
+        source: int,
+        targets: Sequence[int],
+        config: Optional[SequentialConfig] = None,
+    ):
+        self.source = source
+        self.targets = list(targets)
+        self.config = config or SequentialConfig()
+        if not self.targets:
+            raise ValueError("no targets")
+        self.processor = ResponseProcessor(self.config.instance)
+        self.sent = 0
+        self._traces: Dict[int, _TraceState] = {}
+        self._emitter = self._emission_order()
+
+    def _emission_order(self):
+        """Generate (target, ttl) in windowed per-TTL waves."""
+        config = self.config
+        for start in range(0, len(self.targets), config.window):
+            block = [
+                _TraceState(target)
+                for target in self.targets[start : start + config.window]
+            ]
+            for trace in block:
+                self._traces[trace.target] = trace
+            for ttl in range(1, config.max_ttl + 1):
+                for trace in block:
+                    if not trace.alive:
+                        continue
+                    self._maybe_gap_out(trace, ttl)
+                    if trace.alive:
+                        yield trace.target, ttl
+
+    def _maybe_gap_out(self, trace: _TraceState, next_ttl: int) -> None:
+        """Abandon the trace after gap_limit consecutive silent hops,
+        discounting the most recent waves whose responses are in flight."""
+        config = self.config
+        horizon = next_ttl - 1 - config.response_lag_waves
+        if horizon < config.gap_limit:
+            return
+        last_response = max(
+            (ttl for ttl in trace.responded_ttls if ttl <= horizon), default=0
+        )
+        if horizon - last_response >= config.gap_limit:
+            trace.alive = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitter is None
+
+    def next_probe(self, now: int) -> Optional[bytes]:
+        if self._emitter is None:
+            return None
+        try:
+            target, ttl = next(self._emitter)
+        except StopIteration:
+            self._emitter = None
+            return None
+        self.sent += 1
+        return encode_probe(
+            self.source,
+            target,
+            ttl,
+            elapsed=now & 0xFFFFFFFF,
+            instance=self.config.instance,
+            protocol=self.config.protocol,
+        )
+
+    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:
+        record = self.processor.process(data, now, self.sent)
+        if record is None:
+            return None
+        trace = self._traces.get(record.target)
+        if trace is not None:
+            trace.responded_ttls.add(record.ttl)
+            if record.is_terminal:
+                # Destination (or a terminal error source) reached: stop.
+                trace.terminal = True
+                trace.alive = False
+        return record
+
+    @property
+    def records(self) -> List[ProbeRecord]:
+        return self.processor.records
+
+    @property
+    def interfaces(self) -> set:
+        return self.processor.interfaces
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "received": self.processor.received,
+            "interfaces": len(self.processor.interfaces),
+            "decode_failures": self.processor.decode_failures,
+            "completed_traces": sum(
+                1 for trace in self._traces.values() if trace.terminal
+            ),
+        }

@@ -1,0 +1,168 @@
+"""Yarrp6: the stateless randomized high-rate IPv6 topology prober.
+
+The prober's entire mutable state is a walk counter into a keyed
+permutation of the (target × TTL) space, a fill queue, and the result
+stream — no per-destination bookkeeping.  Matching responses to probes
+happens purely by decoding the state each probe carries in its own
+payload (Section 4.1, Figure 4 of the paper).
+
+Optional behaviours from the paper:
+
+* **fill mode** (Section 4.1): a Time Exceeded for a probe sent with hop
+  limit h >= max TTL immediately triggers a probe at h+1, up to a
+  ceiling — recovering long paths without permuting a large TTL range;
+* **neighborhood mode** (Section 4.2, described as future work): probes
+  for TTLs within the local neighborhood are skipped once no new
+  interface has been discovered at that TTL within a time window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .encoding import encode_probe
+from .permutation import ProbeSchedule
+from .records import ProbeRecord, ResponseProcessor
+
+
+@dataclass
+class Yarrp6Config:
+    """Prober parameters (command-line flags of the real tool)."""
+
+    min_ttl: int = 1
+    max_ttl: int = 16
+    protocol: str = "icmp6"
+    instance: int = 1
+    #: Permutation key; vary between campaigns to change probe order.
+    key: int = 0x59415252
+    fill: bool = False
+    #: Hop-limit ceiling for fill probes.
+    fill_ceiling: int = 32
+    #: Multi-worker sharding: this instance's shard id and the total
+    #: number of cooperating instances (all must share the same key).
+    shard: int = 0
+    shards: int = 1
+    #: When set, TTLs <= this value participate in neighborhood skipping.
+    neighborhood_ttl: Optional[int] = None
+    #: Neighborhood window: skip a TTL once no *new* interface has been
+    #: seen at it for this many microseconds.
+    neighborhood_window_us: int = 5_000_000
+
+
+class Yarrp6:
+    """The prober: hand it targets, pull packets, feed it responses."""
+
+    def __init__(self, source: int, targets: Sequence[int], config: Optional[Yarrp6Config] = None):
+        self.source = source
+        self.targets = list(targets)
+        self.config = config or Yarrp6Config()
+        if not self.targets:
+            raise ValueError("no targets")
+        self.schedule = ProbeSchedule(
+            len(self.targets),
+            self.config.min_ttl,
+            self.config.max_ttl,
+            self.config.key,
+            shard=self.config.shard,
+            shards=self.config.shards,
+        )
+        self.processor = ResponseProcessor(self.config.instance)
+        self._cursor = 0
+        self._fill_queue: Deque[Tuple[int, int]] = deque()
+        self.sent = 0
+        self.fills = 0
+        self.skipped = 0
+        # Neighborhood state: per-TTL timestamp of the last new interface.
+        self._last_new_at: Dict[int, int] = {}
+        self._neighborhood_known: Dict[int, set] = {}
+
+    # -- emission --------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True when the permutation walk and fill queue are both done."""
+        return self._cursor >= len(self.schedule) and not self._fill_queue
+
+    def next_probe(self, now: int) -> Optional[bytes]:
+        """The next probe packet to emit at virtual time ``now``."""
+        if self._fill_queue:
+            target, ttl = self._fill_queue.popleft()
+            self.fills += 1
+            return self._encode(target, ttl, now)
+        while self._cursor < len(self.schedule):
+            target_index, ttl = self.schedule.pair(self._cursor)
+            self._cursor += 1
+            if self._skip_neighborhood(ttl, now):
+                self.skipped += 1
+                continue
+            return self._encode(self.targets[target_index], ttl, now)
+        return None
+
+    def _encode(self, target: int, ttl: int, now: int) -> bytes:
+        self.sent += 1
+        return encode_probe(
+            self.source,
+            target,
+            ttl,
+            elapsed=now & 0xFFFFFFFF,
+            instance=self.config.instance,
+            protocol=self.config.protocol,
+        )
+
+    def _skip_neighborhood(self, ttl: int, now: int) -> bool:
+        limit = self.config.neighborhood_ttl
+        if limit is None or ttl > limit:
+            return False
+        last = self._last_new_at.get(ttl)
+        if last is None:
+            # Nothing seen yet at this TTL: keep probing until the first
+            # discovery or until the window elapses from campaign start.
+            return now > self.config.neighborhood_window_us and ttl in self._neighborhood_known
+        return now - last > self.config.neighborhood_window_us
+
+    # -- reception -------------------------------------------------------
+    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:
+        """Feed a response packet; may enqueue fill probes."""
+        record = self.processor.process(data, now, self.sent)
+        if record is None:
+            return None
+        if (
+            self.config.neighborhood_ttl is not None
+            and record.is_time_exceeded
+            and record.ttl <= self.config.neighborhood_ttl
+        ):
+            known = self._neighborhood_known.setdefault(record.ttl, set())
+            if record.hop not in known:
+                known.add(record.hop)
+                self._last_new_at[record.ttl] = now
+        if (
+            self.config.fill
+            and record.is_time_exceeded
+            and record.ttl >= self.config.max_ttl
+            and record.ttl < self.config.fill_ceiling
+        ):
+            self._fill_queue.append((record.target, record.ttl + 1))
+        return record
+
+    # -- results ---------------------------------------------------------
+    @property
+    def records(self) -> List[ProbeRecord]:
+        return self.processor.records
+
+    @property
+    def interfaces(self) -> set:
+        return self.processor.interfaces
+
+    def summary(self) -> Dict[str, int]:
+        """Counters for reporting."""
+        return {
+            "sent": self.sent,
+            "fills": self.fills,
+            "skipped": self.skipped,
+            "received": self.processor.received,
+            "interfaces": len(self.processor.interfaces),
+            "decode_failures": self.processor.decode_failures,
+            "mangled_targets": self.processor.mangled_targets,
+            "tcp_responses": self.processor.tcp_responses,
+        }

@@ -1,0 +1,65 @@
+"""Seed list container and the registry of synthetic seed sources.
+
+The paper amasses seven seed sources (Table 1); each is proprietary,
+rate-limited, or a moving target, so the reproduction *synthesizes* each
+source by sampling the ground-truth internet with the biases the paper
+documents for it: size, IID-class mix, clustering (DPL), BGP/ASN
+coverage, and what kind of infrastructure it reveals.  DESIGN.md records
+the per-source substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..addrs import classify_set, IIDClass
+from ..addrs.prefix import Prefix
+from ..hitlist.transform import SeedItem
+
+
+class SeedList:
+    """A named seed list: a mix of addresses and prefixes plus provenance."""
+
+    __slots__ = ("name", "method", "items")
+
+    def __init__(self, name: str, method: str, items: Iterable[SeedItem]):
+        self.name = name
+        #: Short description of the collection technique (Table 1 column).
+        self.method = method
+        self.items: List[SeedItem] = list(items)
+
+    @property
+    def addresses(self) -> List[int]:
+        """The address-valued items (prefix seeds excluded)."""
+        return [item for item in self.items if isinstance(item, int)]
+
+    @property
+    def prefixes(self) -> List[Prefix]:
+        """The prefix-valued items."""
+        return [item for item in self.items if isinstance(item, Prefix)]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        return "SeedList(%s, %d items)" % (self.name, len(self.items))
+
+    def iid_profile(self) -> Dict[IIDClass, int]:
+        """Table 1's IID classification of the list's addresses."""
+        return classify_set(self.addresses)
+
+
+def join(name: str, lists: Sequence[SeedList]) -> SeedList:
+    """Union several seed lists (the paper's Combined list)."""
+    seen = set()
+    items: List[SeedItem] = []
+    for seed_list in lists:
+        for item in seed_list.items:
+            key = item if isinstance(item, int) else ("p", item.base, item.length)
+            if key not in seen:
+                seen.add(key)
+                items.append(item)
+    return SeedList(name, "Join Sets", items)

@@ -1,0 +1,139 @@
+"""Tests for discriminating prefix length computation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addrs import address
+from repro.addrs.address import MAX_ADDRESS
+from repro.addrs.dpl import (
+    capped_dpl,
+    dpl_against,
+    dpl_cdf,
+    dpl_list,
+    dpl_map,
+    pairwise_dpl,
+)
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
+
+
+class TestPairwise:
+    def test_same_64(self):
+        a = address.parse("2001:db8::1")
+        b = address.parse("2001:db8::2")
+        assert pairwise_dpl(a, b) == 127
+
+    def test_differs_at_first_bit(self):
+        assert pairwise_dpl(0, 1 << 127) == 1
+
+    def test_identical(self):
+        assert pairwise_dpl(5, 5) == 128
+
+    def test_paper_example_64(self):
+        # Two /64 neighbours sharing the top 63 bits have DPL 64.
+        a = address.parse("2001:db8:0:0::1")
+        b = address.parse("2001:db8:0:1::1")
+        assert pairwise_dpl(a, b) == 64
+
+    @given(addresses, addresses)
+    def test_symmetric(self, a, b):
+        assert pairwise_dpl(a, b) == pairwise_dpl(b, a)
+
+
+class TestDplList:
+    def test_empty(self):
+        assert dpl_list([]) == []
+
+    def test_singleton(self):
+        assert dpl_list([address.parse("2001:db8::1")]) == [1]
+
+    def test_duplicates_removed(self):
+        value = address.parse("2001:db8::1")
+        assert dpl_list([value, value]) == [1]
+
+    def test_nearest_neighbour(self):
+        # Middle address is nearest to its right neighbour.
+        a = address.parse("2001::1")
+        b = address.parse("2001:db8::1")
+        c = address.parse("2001:db8::2")
+        values = dpl_list([a, b, c])
+        # b and c share 126 bits -> DPL 127 for both.
+        assert values[1] == 127
+        assert values[2] == 127
+        # a's nearest is b, sharing 19 bits -> DPL 20.
+        assert values[0] == pairwise_dpl(a, b)
+
+    @given(st.lists(addresses, min_size=2, max_size=50))
+    def test_bounds(self, values):
+        for dpl in dpl_list(values):
+            assert 1 <= dpl <= 128
+
+    @given(st.lists(addresses, min_size=2, max_size=50, unique=True))
+    def test_equals_best_neighbour(self, values):
+        ordered = sorted(values)
+        dpls = dpl_list(ordered)
+        for index, value in enumerate(ordered):
+            candidates = []
+            if index > 0:
+                candidates.append(pairwise_dpl(value, ordered[index - 1]))
+            if index + 1 < len(ordered):
+                candidates.append(pairwise_dpl(value, ordered[index + 1]))
+            assert dpls[index] == max(candidates)
+
+
+class TestDplMap:
+    def test_alignment(self):
+        values = [address.parse("2001:db8::1"), address.parse("2001:db8::2")]
+        mapping = dpl_map(values)
+        assert mapping[values[0]] == 127
+        assert mapping[values[1]] == 127
+
+
+class TestDplAgainst:
+    def test_combination_shifts_right(self):
+        # Figure 3b effect: interleaving another set's addresses raises DPL.
+        own = [address.parse("2001:db8::1"), address.parse("2001:dead::1")]
+        other = [address.parse("2001:db8:0:1::1")]
+        alone = dpl_map(own)
+        combined = dpl_against(own, other)
+        assert combined[own[0]] > alone[own[0]]
+        # Dense set unaffected when others don't interleave (fiebig effect).
+        assert combined[own[1]] >= alone[own[1]]
+
+    def test_no_interleaving_no_change(self):
+        own = [address.parse("2001:db8::1"), address.parse("2001:db8::2")]
+        far = [address.parse("fd00::1")]
+        assert dpl_against(own, far)[own[0]] == dpl_map(own)[own[0]]
+
+    @given(
+        st.lists(addresses, min_size=1, max_size=20, unique=True),
+        st.lists(addresses, min_size=0, max_size=20),
+    )
+    def test_monotone_nondecreasing(self, own, other):
+        # Adding addresses can only tighten (raise) each DPL, never lower it.
+        alone = dpl_map(own)
+        combined = dpl_against(own, other)
+        for value in own:
+            assert combined[value] >= alone[value]
+
+
+class TestCdf:
+    def test_empty(self):
+        assert dpl_cdf([], [32, 64]) == [(32, 0.0), (64, 0.0)]
+
+    def test_monotone_and_terminal(self):
+        dpls = [30, 40, 50, 64, 64]
+        cdf = dpl_cdf(dpls, list(range(24, 65, 4)))
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert cdf[-1] == (64, 1.0)
+
+    def test_fraction_at_bin(self):
+        cdf = dict(dpl_cdf([10, 20, 30, 40], [25]))
+        assert cdf[25] == 0.5
+
+
+def test_capped_dpl():
+    assert capped_dpl(127) == 64
+    assert capped_dpl(40) == 40
+    assert capped_dpl(70, cap=48) == 48

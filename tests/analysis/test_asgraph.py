@@ -1,0 +1,144 @@
+"""Tests for AS-level graph analytics."""
+
+import pytest
+
+from repro.addrs.prefix import Prefix
+from repro.addrs.trie import PrefixTrie
+from repro.analysis.asgraph import (
+    as_level_graph,
+    as_path,
+    k_core_summary,
+    path_asn_lengths,
+    transit_dominance,
+)
+from repro.analysis.subnets import AsnResolver
+from repro.analysis.traces import Trace, build_traces
+from repro.packet import icmpv6
+from repro.prober.records import ProbeRecord
+
+
+def resolver_for(blocks):
+    trie = PrefixTrie()
+    for text, asn in blocks:
+        trie.insert(Prefix.parse(text), asn)
+    return AsnResolver(trie)
+
+
+def trace_of(target, hops):
+    trace = Trace(target)
+    for ttl, hop in enumerate(hops, start=1):
+        if hop is not None:
+            trace.add(
+                ProbeRecord(target, ttl, hop, icmpv6.TYPE_TIME_EXCEEDED, 0, "te", 1, 1)
+            )
+    return trace
+
+
+RESOLVER = resolver_for(
+    [("2001:100::/32", 100), ("2001:200::/32", 200), ("2001:300::/32", 300)]
+)
+
+A1 = Prefix.parse("2001:100::/32").base | 1
+A2 = Prefix.parse("2001:100::/32").base | 2
+B1 = Prefix.parse("2001:200::/32").base | 1
+C1 = Prefix.parse("2001:300::/32").base | 1
+
+
+class TestAsPath:
+    def test_collapses_duplicates(self):
+        trace = trace_of(C1, [A1, A2, B1, C1])
+        assert as_path(trace, RESOLVER) == [100, 200, 300]
+
+    def test_skips_unattributable(self):
+        stray = Prefix.parse("fd00::/8").base | 1
+        trace = trace_of(C1, [A1, stray, B1])
+        assert as_path(trace, RESOLVER) == [100, 200]
+
+    def test_skips_gaps(self):
+        trace = trace_of(C1, [A1, None, B1])
+        assert as_path(trace, RESOLVER) == [100, 200]
+
+
+class TestGraph:
+    def test_edges_between_consecutive_asns(self):
+        traces = {1: trace_of(C1, [A1, B1, C1])}
+        graph = as_level_graph(traces, RESOLVER)
+        assert graph.has_edge(100, 200)
+        assert graph.has_edge(200, 300)
+        assert not graph.has_edge(100, 300)
+
+    def test_edge_weights_accumulate(self):
+        traces = {
+            1: trace_of(C1, [A1, B1]),
+            2: trace_of(C1 + 1, [A2, B1]),
+        }
+        graph = as_level_graph(traces, RESOLVER)
+        assert graph[100][200]["weight"] == 2
+
+    def test_k_core_empty(self):
+        import networkx as nx
+
+        assert k_core_summary(nx.Graph())["max_k"] == 0
+
+    def test_k_core_triangle(self):
+        import networkx as nx
+
+        graph = nx.complete_graph(4)
+        summary = k_core_summary(graph)
+        assert summary["max_k"] == 3
+        assert summary["core_size"] == 4
+
+
+class TestDominance:
+    def test_transit_fraction(self):
+        traces = {
+            1: trace_of(C1, [A1, B1, C1]),
+            2: trace_of(C1 + 1, [A1, C1]),
+        }
+        ranked = dict(transit_dominance(traces, RESOLVER))
+        # AS 100 (the vantage side) is on both paths' non-terminal part.
+        assert ranked[100] == 1.0
+        # AS 200 transits only the first.
+        assert ranked[200] == 0.5
+        # Terminal ASes don't count as transit.
+        assert 300 not in ranked
+
+    def test_empty(self):
+        assert transit_dominance({}, RESOLVER) == []
+
+
+class TestIntegration:
+    def test_tier1s_dominate_netsim_paths(self):
+        """In the generated internet, the backbone ASes transit the bulk
+        of AS paths and the k-core is small and dense — the Czyz and
+        Dhamdhere readings."""
+        from repro.netsim import Internet, InternetConfig
+        from repro.prober import run_yarrp6
+
+        net = Internet(
+            config=InternetConfig(n_edge=50, cpe_customers_per_isp=150, seed=59)
+        )
+        targets = [
+            subnet.prefix.base | 1
+            for subnet in list(net.truth.subnets.values())[:600]
+        ]
+        campaign = run_yarrp6(net, "US-EDU-1", targets, pps=1000, max_ttl=16)
+        resolver = AsnResolver(net.truth.registry, net.truth.equivalent_asns)
+        traces = build_traces(campaign.records)
+        graph = as_level_graph(traces, resolver)
+        assert graph.number_of_nodes() >= 15
+
+        ranked = transit_dominance(traces, resolver)
+        top_asn, top_fraction = ranked[0]
+        tiers = {asn: asys.tier for asn, asys in net.truth.ases.items()}
+        # The most dominant transit is backbone or regional, on a large
+        # share of paths (the Hurricane Electric phenomenon).
+        assert tiers[top_asn] <= 2
+        assert top_fraction > 0.3
+
+        summary = k_core_summary(graph)
+        assert summary["max_k"] >= 2
+        assert summary["core_size"] < graph.number_of_nodes() * 0.6
+
+        lengths = path_asn_lengths(traces, resolver)
+        assert lengths and max(lengths) >= 3

@@ -1,0 +1,112 @@
+"""Tests for ITDK-style dataset export/import."""
+
+import io
+
+import networkx as nx
+import pytest
+
+from repro.addrs import parse
+from repro.analysis.datasets import (
+    DatasetError,
+    export_router_level,
+    load_router_level,
+    read_links,
+    read_nodes,
+    write_links,
+    write_nodes,
+)
+
+A = parse("2001:db8::a")
+B = parse("2001:db8::b")
+C = parse("2001:db8::c")
+D = parse("2001:db8::d")
+
+
+def router_graph_fixture():
+    graph = nx.Graph()
+    rep_ab = min(A, B)
+    graph.add_node(rep_ab, interfaces={A, B})
+    graph.add_node(C, interfaces={C})
+    graph.add_edge(rep_ab, C, weight=1)
+    return graph, [[A, B], [C]]
+
+
+class TestWrite:
+    def test_nodes_format(self):
+        buffer = io.StringIO()
+        mapping = write_nodes(buffer, [[A, B], [C]])
+        text = buffer.getvalue()
+        assert "node N1:" in text and "node N2:" in text
+        assert mapping[A] == mapping[B]
+        assert mapping[C] != mapping[A]
+
+    def test_links_format(self):
+        graph, clusters = router_graph_fixture()
+        nodes_buffer = io.StringIO()
+        mapping = write_nodes(nodes_buffer, clusters)
+        links_buffer = io.StringIO()
+        written = write_links(links_buffer, graph, mapping)
+        assert written == 1
+        assert "link L1:" in links_buffer.getvalue()
+
+
+class TestRead:
+    def test_round_trip(self):
+        graph, clusters = router_graph_fixture()
+        nodes_text, links_text = export_router_level(clusters, graph)
+        restored = load_router_level(nodes_text, links_text)
+        assert restored.number_of_nodes() == 2
+        assert restored.number_of_edges() == 1
+        all_interfaces = set()
+        for _, data in restored.nodes(data=True):
+            all_interfaces |= data["interfaces"]
+        assert all_interfaces == {A, B, C}
+
+    def test_read_nodes_rejects_garbage(self):
+        with pytest.raises(DatasetError):
+            read_nodes(io.StringIO("nonsense line\n"))
+
+    def test_read_nodes_rejects_empty_node(self):
+        with pytest.raises(DatasetError):
+            read_nodes(io.StringIO("node N1:  \n"))
+
+    def test_read_links_rejects_one_endpoint(self):
+        with pytest.raises(DatasetError):
+            read_links(io.StringIO("link L1:  N1:2001:db8::a\n"))
+
+    def test_load_rejects_unknown_node(self):
+        nodes_text = "node N1:  2001:db8::a\n"
+        links_text = "link L1:  N1:2001:db8::a N9:2001:db8::b\n"
+        with pytest.raises(DatasetError):
+            load_router_level(nodes_text, links_text)
+
+    def test_comments_and_blanks_skipped(self):
+        nodes = read_nodes(io.StringIO("# header\n\nnode N1:  ::1\n"))
+        assert nodes == {"N1": [1]}
+
+
+class TestEndToEnd:
+    def test_with_real_resolution(self):
+        """Full pipeline: netsim -> speedtrap -> clusters -> export -> load."""
+        from repro.analysis import resolve_aliases, router_graph
+        from repro.analysis.graph import interface_graph
+        from repro.analysis.traces import build_traces
+        from repro.netsim import Internet, InternetConfig
+        from repro.prober import run_speedtrap, run_yarrp6
+
+        net = Internet(
+            config=InternetConfig(n_edge=15, cpe_customers_per_isp=60, seed=3)
+        )
+        targets = [
+            subnet.prefix.base | 1 for subnet in list(net.truth.subnets.values())[:60]
+        ]
+        campaign = run_yarrp6(net, "US-EDU-1", targets, pps=500, max_ttl=16)
+        net.reset_dynamics()
+        machine = run_speedtrap(net, "US-EDU-1", sorted(campaign.interfaces))
+        clusters = resolve_aliases(machine.samples)
+        interfaces = interface_graph(build_traces(campaign.records))
+        routers = router_graph(interfaces, clusters)
+        nodes_text, links_text = export_router_level(clusters, routers)
+        restored = load_router_level(nodes_text, links_text)
+        assert restored.number_of_nodes() == routers.number_of_nodes()
+        assert restored.number_of_edges() == routers.number_of_edges()

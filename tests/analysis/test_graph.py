@@ -1,0 +1,122 @@
+"""Tests for interface- and router-level graph construction."""
+
+import networkx as nx
+
+from repro.addrs import parse
+from repro.analysis.graph import (
+    edge_accuracy,
+    graph_summary,
+    interface_graph,
+    router_graph,
+)
+from repro.analysis.traces import Trace
+from repro.packet import icmpv6
+from repro.prober.records import ProbeRecord
+
+A = parse("2001:db8::a")
+B = parse("2001:db8::b")
+C = parse("2001:db8::c")
+D = parse("2001:db8::d")
+
+
+def trace_of(target, hops):
+    trace = Trace(target)
+    for ttl, hop in enumerate(hops, start=1):
+        if hop is not None:
+            trace.add(
+                ProbeRecord(target, ttl, hop, icmpv6.TYPE_TIME_EXCEEDED, 0, "time exceeded", 1, 1)
+            )
+    return trace
+
+
+class TestInterfaceGraph:
+    def test_consecutive_hops_linked(self):
+        traces = {1: trace_of(1, [A, B, C])}
+        graph = interface_graph(traces)
+        assert graph.has_edge(A, B)
+        assert graph.has_edge(B, C)
+        assert not graph.has_edge(A, C)
+
+    def test_gap_breaks_link_by_default(self):
+        traces = {1: trace_of(1, [A, None, C])}
+        graph = interface_graph(traces)
+        assert not graph.has_edge(A, C)
+        assert A in graph.nodes and C in graph.nodes
+
+    def test_gap_bridged_when_allowed(self):
+        traces = {1: trace_of(1, [A, None, C])}
+        graph = interface_graph(traces, allow_gaps=True)
+        assert graph.has_edge(A, C)
+        assert graph[A][C]["inferred"]
+
+    def test_shared_hops_merge(self):
+        traces = {
+            1: trace_of(1, [A, B, C]),
+            2: trace_of(2, [A, B, D]),
+        }
+        graph = interface_graph(traces)
+        assert graph.degree[B] == 3  # A, C, D
+
+    def test_asn_annotation(self):
+        from repro.addrs.prefix import Prefix
+        from repro.addrs.trie import PrefixTrie
+
+        registry = PrefixTrie()
+        registry.insert(Prefix.parse("2001:db8::/32"), 64500)
+        graph = interface_graph({1: trace_of(1, [A, B])}, registry=registry)
+        assert graph.nodes[A]["asn"] == 64500
+
+
+class TestRouterGraph:
+    def test_aliases_collapse(self):
+        interfaces = interface_graph({1: trace_of(1, [A, B, C])})
+        routers = router_graph(interfaces, [{B, C}])
+        assert routers.number_of_nodes() == 2
+        merged = min(B, C)
+        assert routers.has_edge(A, merged)
+        assert routers.nodes[merged]["interfaces"] == {B, C}
+
+    def test_intra_router_edge_dropped(self):
+        interfaces = nx.Graph()
+        interfaces.add_edge(B, C)
+        routers = router_graph(interfaces, [{B, C}])
+        assert routers.number_of_edges() == 0
+
+    def test_parallel_links_weighted(self):
+        interfaces = nx.Graph()
+        interfaces.add_edge(A, B)
+        interfaces.add_edge(A, C)
+        routers = router_graph(interfaces, [{B, C}])
+        merged = min(B, C)
+        assert routers[A][merged]["weight"] == 2
+
+    def test_singletons_pass_through(self):
+        interfaces = interface_graph({1: trace_of(1, [A, B])})
+        routers = router_graph(interfaces, [])
+        assert set(routers.nodes) == {A, B}
+
+
+class TestSummaryAccuracy:
+    def test_summary(self):
+        graph = interface_graph({1: trace_of(1, [A, B, C])})
+        summary = graph_summary(graph)
+        assert summary["nodes"] == 3
+        assert summary["edges"] == 2
+        assert summary["components"] == 1
+        assert summary["max_degree"] == 2
+
+    def test_summary_empty(self):
+        assert graph_summary(nx.Graph())["nodes"] == 0
+
+    def test_edge_accuracy(self):
+        graph = interface_graph({1: trace_of(1, [A, B, C])})
+        truth = {(min(A, B), max(A, B))}
+        fraction, checked = edge_accuracy(graph, truth)
+        assert checked == 2
+        assert fraction == 0.5
+
+    def test_edge_accuracy_skips_inferred(self):
+        graph = interface_graph({1: trace_of(1, [A, None, C])}, allow_gaps=True)
+        fraction, checked = edge_accuracy(graph, set())
+        assert checked == 0
+        assert fraction == 1.0

@@ -1,0 +1,167 @@
+"""End-to-end tests for the repro-sim CLI workflow."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.cli.worldcfg import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.netsim import InternetConfig, VantageConfig
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture()
+def world_file(tmp_path):
+    path = str(tmp_path / "world.json")
+    code, text = run(["world", "--edge", "30", "--cpe", "150", "--seed", "5", "--out", path])
+    assert code == 0
+    return path
+
+
+class TestWorldConfig:
+    def test_round_trip(self):
+        config = InternetConfig(
+            n_edge=10,
+            cpe_customers_per_isp=50,
+            vantages=(VantageConfig("X", premise_hops=4, aggressive_hops=(2,)),),
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_json_round_trip(self, tmp_path):
+        config = InternetConfig(n_edge=7)
+        path = tmp_path / "cfg.json"
+        with open(path, "w") as sink:
+            save_config(sink, config)
+        with open(path) as source:
+            restored = load_config(source)
+        assert restored == config
+        # The file is plain JSON.
+        assert json.loads(path.read_text())["n_edge"] == 7
+
+    def test_world_command_output(self, world_file, tmp_path):
+        data = json.loads(open(world_file).read())
+        assert data["n_edge"] == 30
+        assert data["seed"] == 5
+
+
+class TestPipeline:
+    def test_seeds_targets_probe_analyze(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "caida.seeds")
+        code, text = run(
+            ["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path]
+        )
+        assert code == 0
+        assert "caida" in text
+        lines = [l for l in open(seeds_path) if l.strip()]
+        assert lines and all("/" in line for line in lines)  # prefix seeds
+
+        targets_path = str(tmp_path / "caida.targets")
+        code, text = run(
+            ["targets", "--seeds", seeds_path, "--level", "64", "--out", targets_path]
+        )
+        assert code == 0
+        target_lines = [l.strip() for l in open(targets_path) if l.strip()]
+        assert target_lines
+        assert all("/" not in line for line in target_lines)
+
+        results_path = str(tmp_path / "run.yrp6")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--vantage", "EU-NET",
+                "--targets", targets_path,
+                "--pps", "1000",
+                "--fill",
+                "--out", results_path,
+            ]
+        )
+        assert code == 0
+        assert "interfaces" in text
+
+        code, text = run(
+            ["analyze", "--results", results_path, "--world", world_file, "--subnets", "--graph"]
+        )
+        assert code == 0
+        assert "unique interfaces" in text
+        assert "interface graph" in text
+        assert "subnets:" in text
+
+    def test_unknown_seed_source(self, world_file, tmp_path):
+        code, text = run(
+            [
+                "seeds",
+                "--world", world_file,
+                "--source", "nope",
+                "--out", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "unknown source" in text
+
+    def test_probe_other_probers(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        for prober in ("sequential", "doubletree"):
+            results = str(tmp_path / ("%s.yrp6" % prober))
+            code, text = run(
+                [
+                    "probe",
+                    "--world", world_file,
+                    "--targets", targets_path,
+                    "--prober", prober,
+                    "--out", results,
+                ]
+            )
+            assert code == 0, text
+
+    def test_empty_targets_rejected(self, world_file, tmp_path):
+        empty = tmp_path / "empty"
+        empty.write_text("# nothing\n")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", str(empty),
+                "--out", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 2
+
+    def test_subnets_requires_world(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        results = str(tmp_path / "r.yrp6")
+        run(
+            ["probe", "--world", world_file, "--targets", targets_path, "--out", results]
+        )
+        code, text = run(["analyze", "--results", results, "--subnets"])
+        assert code == 2
+        assert "--world" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run([])
+
+    def test_version(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,99 @@
+"""Tests for the virtual-time event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.engine import Engine, US_PER_SECOND, pps_interval, seconds
+
+
+class TestEngine:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0
+
+    def test_schedule_and_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda: fired.append(engine.now))
+        engine.schedule(50, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [50, 100]
+        assert engine.now == 100
+
+    def test_fifo_for_simultaneous(self):
+        engine = Engine()
+        fired = []
+        for tag in range(5):
+            engine.schedule(10, lambda tag=tag: fired.append(tag))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, lambda: fired.append("early"))
+        engine.schedule(1000, lambda: fired.append("late"))
+        engine.run(until=100)
+        assert fired == ["early"]
+        assert engine.now == 100
+        assert engine.pending == 1
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append(engine.now)
+            engine.schedule(5, lambda: fired.append(engine.now))
+
+        engine.schedule(10, first)
+        engine.run()
+        assert fired == [10, 15]
+
+    def test_schedule_in_past_runs_now(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda: engine.schedule_at(0, lambda: fired.append(engine.now)))
+        engine.run()
+        assert fired == [100]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_step(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3, lambda: fired.append(1))
+        assert engine.step()
+        assert fired == [1]
+        assert not engine.step()
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+    def test_events_fire_in_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestConversions:
+    def test_seconds(self):
+        assert seconds(1.5) == 1_500_000
+
+    def test_pps_interval(self):
+        assert pps_interval(1000) == 1000
+        assert pps_interval(20) == 50_000
+        assert pps_interval(10**9) == 1  # floor of one microsecond
+
+    def test_pps_interval_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pps_interval(0)
+
+    def test_us_per_second(self):
+        assert US_PER_SECOND == 10**6

@@ -1,0 +1,310 @@
+"""Integration tests for the packet-level internet simulator."""
+
+import pytest
+
+from repro.addrs import format_address, parse
+from repro.netsim import Internet, InternetConfig, TerminalKind
+from repro.netsim.ecmp import flow_variant
+from repro.packet import icmpv6, ipv6, tcp, udp
+from repro.packet.icmpv6 import UnreachableCode
+from repro.packet.ipv6 import IPv6Header, PROTO_ICMPV6, PROTO_TCP, PROTO_UDP
+
+
+def icmp_probe(src, dst, ttl, ident=7, seq=1, payload=b"probe"):
+    echo = icmpv6.echo_request(ident, seq, payload)
+    return ipv6.build_packet(
+        IPv6Header(src, dst, 0, PROTO_ICMPV6, hop_limit=ttl),
+        echo.pack(src, dst),
+    )
+
+
+def udp_probe(src, dst, ttl, sport=4660, dport=33434, payload=b"probe"):
+    return ipv6.build_packet(
+        IPv6Header(src, dst, 0, PROTO_UDP, hop_limit=ttl),
+        udp.build_datagram(src, dst, sport, dport, payload),
+    )
+
+
+def parse_icmp(response):
+    header, payload = ipv6.split_packet(response.data)
+    return header, icmpv6.ICMPv6Message.unpack(payload)
+
+
+def first_host(net):
+    for subnet in net.truth.subnets.values():
+        if subnet.host_iids:
+            return subnet.host_addresses()[0]
+    raise AssertionError("no hosts built")
+
+
+class TestPathCompilation:
+    def test_path_terminates_in_lan_for_host(self, net):
+        vantage = net.vantage("US-EDU-1")
+        path = net.path_for(vantage, first_host(net))
+        assert path.terminal is TerminalKind.LAN
+        assert path.length >= 6
+
+    def test_path_cached(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        assert net.path_for(vantage, dst, 1) is net.path_for(vantage, dst, 1)
+
+    def test_same_slash64_same_path(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        sibling = (dst & ~0xFFFF) | 0xABCD
+        assert net.path_for(vantage, dst, 0) is net.path_for(vantage, sibling, 0)
+
+    def test_first_hops_are_premise_chain(self, net):
+        vantage = net.vantage("US-EDU-2")
+        path = net.path_for(vantage, first_host(net))
+        premise = [iface for _, iface in vantage.premise_chain]
+        assert [iface for _, iface, _ in path.hops[: len(premise)]] == premise
+
+    def test_unrouted_destination_no_route(self, net):
+        vantage = net.vantage("US-EDU-1")
+        path = net.path_for(vantage, parse("3fff:ffff::1"))
+        assert path.terminal is TerminalKind.ERROR
+        assert path.error_code is UnreachableCode.NO_ROUTE
+
+    def test_routed_but_unallocated_is_error(self, net):
+        """An address inside an advertised prefix but outside any active
+        distribution/allocation draws an error, not a LAN delivery."""
+        vantage = net.vantage("US-EDU-1")
+        for asn in net.built.edge_asns:
+            asys = net.truth.ases[asn]
+            if not asys.prefixes or not net.built.dist_index[asn]:
+                continue
+            prefix = asys.prefixes[0]
+            dists = net.built.dist_index[asn]
+            # Probe the top /64 of the AS prefix; collides with a dist
+            # only if that dist covers it.
+            probe_addr = prefix.last & ~0xFFFF | 1
+            if any(dist.contains(probe_addr) for dist in dists):
+                continue
+            path = net.path_for(vantage, probe_addr)
+            assert path.terminal is TerminalKind.ERROR
+            return
+        pytest.skip("no suitable unallocated space found")
+
+    def test_delays_monotone(self, net):
+        path = net.path_for(net.vantage("EU-NET"), first_host(net))
+        delays = [delay for _, _, delay in path.hops]
+        assert delays == sorted(delays)
+        assert delays[0] > 0
+
+    def test_variants_may_differ_but_same_terminal(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        paths = [net.path_for(vantage, dst, variant) for variant in range(4)]
+        assert all(path.terminal == paths[0].terminal for path in paths)
+        # Last hop (the gateway) is identical across variants.
+        last = {path.hops[-1][1] for path in paths}
+        assert len(last) == 1
+
+
+class TestProbing:
+    def test_ttl_walk_reconstructs_path(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = None
+        path = None
+        # Pick a target whose path has no probabilistically-silent,
+        # protocol-selective, or quotation-mangling hops.
+        for subnet in net.truth.subnets.values():
+            if not subnet.host_iids:
+                continue
+            candidate = subnet.host_addresses()[0]
+            candidate_path = net.path_for(
+                vantage, candidate, flow_variant_of(vantage.address, candidate)
+            )
+            if all(
+                router.response_probability >= 1.0
+                and router.respond_protocols is None
+                and router.router_id not in net._manglers
+                for router, _, _ in candidate_path.hops
+            ):
+                dst, path = candidate, candidate_path
+                break
+        assert dst is not None, "no clean path found in this world"
+        seen = []
+        for ttl in range(1, path.length + 1):
+            response = net.probe(icmp_probe(vantage.address, dst, ttl), now=ttl * 10_000_000)
+            assert response is not None, "hop %d silent" % ttl
+            header, message = parse_icmp(response)
+            assert message.is_time_exceeded
+            seen.append(header.src)
+        assert seen == [iface for _, iface, _ in path.hops]
+
+    def test_quotation_contains_probe(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        probe = icmp_probe(vantage.address, dst, 2, payload=b"MAGICSTATE")
+        response = net.probe(probe, now=0)
+        _, message = parse_icmp(response)
+        assert b"MAGICSTATE" in message.quotation
+
+    def test_echo_reply_from_host(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        response = net.probe(icmp_probe(vantage.address, dst, 64, ident=42, seq=9), now=0)
+        header, message = parse_icmp(response)
+        assert message.is_echo_reply
+        assert header.src == dst
+        assert message.identifier == 42 and message.sequence == 9
+
+    def test_udp_to_host_port_unreachable(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        response = net.probe(udp_probe(vantage.address, dst, 64), now=0)
+        if response is None:
+            pytest.skip("probabilistic loss")
+        header, message = parse_icmp(response)
+        assert message.code == int(UnreachableCode.PORT_UNREACHABLE)
+
+    def test_tcp_to_host_rst(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        syn = tcp.build_segment(
+            vantage.address, dst, tcp.TCPHeader(1234, 80, flags=tcp.FLAG_SYN)
+        )
+        packet = ipv6.build_packet(
+            IPv6Header(vantage.address, dst, 0, PROTO_TCP, hop_limit=64), syn
+        )
+        response = net.probe(packet, now=0)
+        if response is None:
+            pytest.skip("probabilistic loss")
+        assert response.kind == "tcp"
+        _, payload = ipv6.split_packet(response.data)
+        header, _ = tcp.split_segment(payload)
+        assert header.rst
+
+    def test_dead_iid_mostly_silent_or_unreachable(self, net):
+        vantage = net.vantage("US-EDU-1")
+        subnet = next(iter(net.truth.subnets.values()))
+        dead = subnet.prefix.base | 0x1234_5678_1234_5678
+        outcomes = set()
+        for index in range(30):
+            response = net.probe(
+                icmp_probe(vantage.address, dead, 64, seq=index), now=index * 1_000_000
+            )
+            if response is None:
+                outcomes.add("silent")
+            else:
+                _, message = parse_icmp(response)
+                outcomes.add(icmpv6.classify_response(message))
+        assert outcomes <= {"silent", "address unreachable"}
+        assert outcomes  # something happened
+
+    def test_unknown_source_rejected(self, net):
+        dst = first_host(net)
+        with pytest.raises(ValueError):
+            net.probe(icmp_probe(parse("fd00::1"), dst, 4), now=0)
+
+    def test_stats_counted(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        net.probe(icmp_probe(vantage.address, dst, 1), now=0)
+        assert net.stats.probes == 1
+        assert net.stats.time_exceeded + net.stats.rate_limited + net.stats.lost >= 1
+
+
+class TestRateLimiting:
+    def test_burst_drains_first_hop(self, net):
+        """Many TTL=1 probes in a tight burst exhaust the first hop's
+        bucket; the same count paced slowly does not (Figure 5)."""
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        responses = sum(
+            net.probe(icmp_probe(vantage.address, dst, 1, seq=index), now=index) is not None
+            for index in range(500)
+        )
+        assert responses < 250
+        net.reset_dynamics()
+        paced = sum(
+            net.probe(
+                icmp_probe(vantage.address, dst, 1, seq=index),
+                now=index * 100_000,  # 10 pps
+            )
+            is not None
+            for index in range(100)
+        )
+        assert paced >= 95
+
+    def test_reset_restores_tokens(self, net):
+        vantage = net.vantage("US-EDU-1")
+        dst = first_host(net)
+        for index in range(500):
+            net.probe(icmp_probe(vantage.address, dst, 1, seq=index), now=index)
+        net.reset_dynamics()
+        assert net.probe(icmp_probe(vantage.address, dst, 1), now=0) is not None
+
+
+class TestFiltering:
+    def test_blocked_protocols_filtered_past_border(self, net):
+        """Find an AS that blocks UDP and show ICMPv6 penetrates deeper."""
+        for asn in net.built.edge_asns:
+            asys = net.truth.ases[asn]
+            if PROTO_UDP not in asys.policy.blocked_protocols:
+                continue
+            if PROTO_ICMPV6 in asys.policy.blocked_protocols:
+                continue  # admin firewall: ICMPv6 can't penetrate either
+            if not asys.plan.leaves:
+                continue
+            dst = asys.plan.leaves[0].prefix.base | 1
+            vantage = net.vantage("US-EDU-1")
+            # Resolve the path this exact UDP flow will take, so the TTL
+            # lands beyond its filtering border.
+            deep = udp_probe(vantage.address, dst, 64)
+            header, payload = ipv6.split_packet(deep)
+            variant = flow_variant(header, payload)
+            udp_path = net.path_for(vantage, dst, variant)
+            deep = udp_probe(vantage.address, dst, udp_path.length)
+            response = net.probe(deep, now=0)
+            if response is not None:
+                _, message = parse_icmp(response)
+                assert message.code == int(UnreachableCode.ADMIN_PROHIBITED)
+            assert net.stats.filtered >= 1
+            # ICMPv6 to the same depth gets a time exceeded (modulo loss).
+            net.reset_dynamics()
+            icmp_len = net.path_for(
+                vantage, dst, flow_variant_of(vantage.address, dst)
+            ).length
+            got = net.probe(icmp_probe(vantage.address, dst, icmp_len), now=0)
+            if got is not None:
+                _, message = parse_icmp(got)
+                assert message.is_time_exceeded
+            return
+        pytest.skip("no UDP-blocking AS in this world")
+
+    def test_filter_does_not_affect_shallow_ttl(self, net):
+        """TTL expiring before the filtering border still elicits TE."""
+        for asn in net.built.edge_asns:
+            asys = net.truth.ases[asn]
+            if not asys.policy.blocked_protocols or not asys.plan.leaves:
+                continue
+            blocked_proto = next(iter(asys.policy.blocked_protocols))
+            if blocked_proto != PROTO_UDP:
+                continue
+            dst = asys.plan.leaves[0].prefix.base | 1
+            vantage = net.vantage("US-EDU-1")
+            response = net.probe(udp_probe(vantage.address, dst, 1), now=0)
+            if response is not None:
+                _, message = parse_icmp(response)
+                assert message.is_time_exceeded
+            return
+        pytest.skip("no UDP-blocking AS in this world")
+
+
+def flow_variant_of(src, dst):
+    """Variant the simulator will pick for our standard ICMP probe."""
+    echo = icmpv6.echo_request(7, 1, b"probe")
+    header = IPv6Header(src, dst, 0, PROTO_ICMPV6, hop_limit=5)
+    return flow_variant(header, echo.pack(src, dst))
+
+
+class TestQuotationMisbehaviour:
+    def test_some_routers_mangle_or_truncate(self, net):
+        """The deterministic mangler assignment marks a small router subset."""
+        behaviours = set(net._manglers.values())
+        assert behaviours <= {"rewrite", "truncate"}
+        assert 0 < len(net._manglers) < len(net.truth.routers) * 0.1

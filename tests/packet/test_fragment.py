@@ -1,0 +1,72 @@
+"""Tests for the IPv6 Fragment extension header."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet.fragment import (
+    HEADER_LENGTH,
+    PROTO_FRAGMENT,
+    FragmentHeader,
+    extract_identification,
+    unwrap,
+    wrap_atomic,
+)
+from repro.packet.ipv6 import PacketError
+
+
+class TestFragmentHeader:
+    def test_pack_length(self):
+        assert len(FragmentHeader(58, 1).pack()) == HEADER_LENGTH
+
+    def test_atomic_detection(self):
+        assert FragmentHeader(58, 1).atomic
+        assert not FragmentHeader(58, 1, offset=1).atomic
+        assert not FragmentHeader(58, 1, more=True).atomic
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=(1 << 13) - 1),
+        st.booleans(),
+    )
+    def test_round_trip(self, next_header, identification, offset, more):
+        header = FragmentHeader(next_header, identification, offset, more)
+        parsed = FragmentHeader.unpack(header.pack())
+        assert parsed.next_header == next_header
+        assert parsed.identification == identification
+        assert parsed.offset == offset
+        assert parsed.more == more
+
+    def test_offset_range(self):
+        with pytest.raises(PacketError):
+            FragmentHeader(58, 1, offset=1 << 13)
+
+    def test_short_rejected(self):
+        with pytest.raises(PacketError):
+            FragmentHeader.unpack(b"\x00" * 7)
+
+    def test_identification_wraps(self):
+        header = FragmentHeader(58, (1 << 32) + 5)
+        assert header.identification == 5
+
+
+class TestWrapUnwrap:
+    def test_wrap_atomic(self):
+        wrapped = wrap_atomic(58, 0xDEADBEEF, b"payload")
+        header, inner = unwrap(wrapped)
+        assert header.atomic
+        assert header.identification == 0xDEADBEEF
+        assert header.next_header == 58
+        assert inner == b"payload"
+
+    def test_extract_identification(self):
+        wrapped = wrap_atomic(58, 42, b"x")
+        extracted = extract_identification(PROTO_FRAGMENT, wrapped)
+        assert extracted == (42, 58, b"x")
+
+    def test_extract_wrong_proto(self):
+        assert extract_identification(58, b"anything") is None
+
+    def test_extract_garbage(self):
+        assert extract_identification(PROTO_FRAGMENT, b"\x00") is None

@@ -1,0 +1,148 @@
+"""Tests for Yarrp6 stateless state encoding (Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addrs import parse
+from repro.addrs.address import MAX_ADDRESS
+from repro.packet import icmpv6, ipv6, tcp, udp
+from repro.packet.checksum import address_checksum, verify_transport_checksum
+from repro.prober.encoding import (
+    DEST_PORT,
+    MAGIC,
+    PAYLOAD_LENGTH,
+    DecodeError,
+    decode_quotation,
+    encode_probe,
+    rtt_from,
+)
+
+SRC = parse("2001:db8::100")
+addresses = st.integers(min_value=1, max_value=MAX_ADDRESS)
+ttls = st.integers(min_value=1, max_value=255)
+times = st.integers(min_value=0, max_value=0xFFFFFFFF)
+protocols = st.sampled_from(["icmp6", "udp", "tcp"])
+
+
+class TestEncode:
+    def test_icmp_probe_structure(self):
+        packet = encode_probe(SRC, parse("2a00::1"), ttl=5, elapsed=123)
+        header, payload = ipv6.split_packet(packet)
+        assert header.hop_limit == 5
+        assert header.next_header == ipv6.PROTO_ICMPV6
+        message = icmpv6.ICMPv6Message.unpack(payload)
+        assert message.msg_type == icmpv6.TYPE_ECHO_REQUEST
+        assert message.identifier == address_checksum(parse("2a00::1"))
+        assert message.sequence == DEST_PORT
+        assert len(message.body) == PAYLOAD_LENGTH
+
+    def test_udp_probe_structure(self):
+        target = parse("2a00::1")
+        packet = encode_probe(SRC, target, 3, 0, protocol="udp")
+        header, payload = ipv6.split_packet(packet)
+        assert header.next_header == ipv6.PROTO_UDP
+        udp_header, body = udp.split_datagram(payload)
+        assert udp_header.src_port == address_checksum(target)
+        assert udp_header.dst_port == DEST_PORT
+        assert len(body) == PAYLOAD_LENGTH
+
+    def test_tcp_probe_structure(self):
+        target = parse("2a00::1")
+        packet = encode_probe(SRC, target, 3, 0, protocol="tcp")
+        header, payload = ipv6.split_packet(packet)
+        assert header.next_header == ipv6.PROTO_TCP
+        tcp_header, body = tcp.split_segment(payload)
+        assert tcp_header.syn
+        assert tcp_header.src_port == address_checksum(target)
+        assert len(body) == PAYLOAD_LENGTH
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            encode_probe(SRC, 1, 1, 0, protocol="sctp")
+
+    @given(addresses, ttls, times, protocols)
+    def test_checksum_valid(self, target, ttl, elapsed, protocol):
+        """Despite the constant-checksum trick, every probe carries a
+        *valid* transport checksum."""
+        packet = encode_probe(SRC, target, ttl, elapsed, protocol=protocol)
+        header, payload = ipv6.split_packet(packet)
+        assert verify_transport_checksum(SRC, target, header.next_header, payload)
+
+    @given(addresses, st.lists(st.tuples(ttls, times), min_size=2, max_size=6), protocols)
+    def test_headers_constant_per_target(self, target, variations, protocol):
+        """The Paris property: for one target, every probe's transport
+        header — including the checksum — is byte-identical; only the
+        payload and hop limit vary."""
+        packets = [
+            encode_probe(SRC, target, ttl, elapsed, protocol=protocol)
+            for ttl, elapsed in variations
+        ]
+        transport_len = {"icmp6": 8, "udp": 8, "tcp": 20}[protocol]
+        headers = {
+            ipv6.split_packet(packet)[1][:transport_len] for packet in packets
+        }
+        assert len(headers) == 1
+
+
+class TestDecode:
+    @given(addresses, ttls, times, protocols, st.integers(min_value=0, max_value=255))
+    def test_round_trip(self, target, ttl, elapsed, protocol, instance):
+        packet = encode_probe(SRC, target, ttl, elapsed, instance, protocol)
+        decoded = decode_quotation(packet)
+        assert decoded.target == target
+        assert decoded.ttl == ttl
+        assert decoded.elapsed == elapsed
+        assert decoded.instance == instance
+        assert not decoded.target_modified
+
+    def test_instance_mismatch(self):
+        packet = encode_probe(SRC, 99, 1, 0, instance=7)
+        with pytest.raises(DecodeError):
+            decode_quotation(packet, instance=8)
+        assert decode_quotation(packet, instance=7).instance == 7
+
+    def test_bad_magic(self):
+        packet = bytearray(encode_probe(SRC, 99, 1, 0))
+        packet[48] ^= 0xFF  # first magic byte (40 IPv6 + 8 ICMP header)
+        with pytest.raises(DecodeError):
+            decode_quotation(bytes(packet))
+
+    def test_truncated_quotation(self):
+        packet = encode_probe(SRC, 99, 1, 0)
+        with pytest.raises(DecodeError):
+            decode_quotation(packet[:48])  # header + 8B only
+
+    def test_truncation_boundary(self):
+        """Quotations missing only the fudge bytes still decode."""
+        packet = encode_probe(SRC, 99, 4, 1234)
+        decoded = decode_quotation(packet[:-2])
+        assert decoded.ttl == 4
+
+    def test_rewritten_target_detected(self):
+        """A middlebox rewriting the quoted destination trips the address
+        checksum carried in the source port."""
+        packet = bytearray(encode_probe(SRC, parse("2a00::1"), 1, 0))
+        packet[38] ^= 0x55  # low bytes of the destination address
+        decoded = decode_quotation(bytes(packet))
+        assert decoded.target_modified
+
+    def test_non_probe_quotation(self):
+        stray = ipv6.build_packet(
+            ipv6.IPv6Header(SRC, 1, 0, ipv6.PROTO_ICMPV6),
+            icmpv6.echo_request(1, 1, b"not-yarrp\x00\x00\x00").pack(SRC, 1),
+        )
+        with pytest.raises(DecodeError):
+            decode_quotation(stray)
+
+    def test_garbage(self):
+        with pytest.raises(DecodeError):
+            decode_quotation(b"\x00" * 30)
+
+
+class TestRtt:
+    def test_simple(self):
+        assert rtt_from(1000, 3500) == 2500
+
+    def test_wraparound(self):
+        assert rtt_from(0xFFFFFF00, 0x100000100) == 0x200

@@ -1,0 +1,111 @@
+"""Tests for path MTU discovery against ground-truth link MTUs."""
+
+import pytest
+
+from repro.netsim import Internet, InternetConfig, build_internet
+from repro.prober.pmtud import PMTUDConfig, discover_pmtu, mtu_census
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_internet(
+        InternetConfig(
+            n_edge=60,
+            cpe_customers_per_isp=150,
+            seed=47,
+            tunnel_fraction=0.3,   # plenty of 1480 paths
+            response_loss=0.0,
+        )
+    )
+
+
+def truth_pmtu(net, vantage, target):
+    path = net.path_for(net.vantage(vantage), target, 0)
+    return path.path_mtu
+
+
+def pick_targets(built, predicate, limit=25):
+    out = []
+    for subnet in built.truth.subnets.values():
+        if subnet.host_iids and predicate(built.truth.ases[subnet.gateway.asn]):
+            out.append(subnet.host_addresses()[0])
+        if len(out) >= limit:
+            break
+    return out
+
+
+class TestGroundTruthMtu:
+    def test_tunneled_ases_exist(self, built):
+        tunneled = [a for a in built.truth.ases.values() if a.link_mtu == 1480]
+        assert tunneled
+
+    def test_path_mtu_reflects_bottleneck(self, built):
+        net = Internet(built)
+        target = pick_targets(built, lambda a: a.link_mtu == 1480, 1)[0]
+        path = net.path_for(net.vantage("US-EDU-1"), target, 0)
+        assert path.path_mtu == 1480
+
+    def test_oversize_probe_gets_ptb(self, built):
+        from repro.packet import icmpv6, ipv6
+        from repro.prober.pmtud import _padded_probe
+
+        net = Internet(built)
+        target = pick_targets(built, lambda a: a.link_mtu == 1480, 1)[0]
+        vantage = net.vantage("US-EDU-1")
+        response = net.probe(_padded_probe(vantage.address, target, 1500), 0)
+        assert response is not None
+        _, payload = ipv6.split_packet(response.data)
+        message = icmpv6.ICMPv6Message.unpack(payload)
+        assert message.msg_type == icmpv6.TYPE_PACKET_TOO_BIG
+        assert message.word == 1480
+
+    def test_fitting_probe_passes(self, built):
+        from repro.packet import icmpv6, ipv6
+        from repro.prober.pmtud import _padded_probe
+
+        net = Internet(built)
+        target = pick_targets(built, lambda a: a.link_mtu == 1480, 1)[0]
+        vantage = net.vantage("US-EDU-1")
+        response = net.probe(_padded_probe(vantage.address, target, 1480), 0)
+        assert response is not None
+        _, payload = ipv6.split_packet(response.data)
+        assert icmpv6.ICMPv6Message.unpack(payload).is_echo_reply
+
+
+class TestDiscovery:
+    def test_recovers_truth(self, built):
+        net = Internet(built)
+        targets = pick_targets(built, lambda a: True, 40)
+        results = discover_pmtu(net, "US-EDU-1", targets)
+        checked = 0
+        for target, result in results.items():
+            truth = truth_pmtu(net, "US-EDU-1", target)
+            if result.confirmed:
+                assert result.path_mtu == truth, hex(target)
+                checked += 1
+        assert checked >= len(targets) * 0.8
+
+    def test_tunnel_paths_report_bottleneck_hop(self, built):
+        net = Internet(built)
+        targets = pick_targets(built, lambda a: a.link_mtu == 1480, 10)
+        results = discover_pmtu(net, "US-EDU-1", targets)
+        confirmed = [r for r in results.values() if r.confirmed and r.path_mtu == 1480]
+        assert confirmed
+        assert all(r.bottleneck_hop is not None for r in confirmed)
+
+    def test_clean_paths_one_round(self, built):
+        net = Internet(built)
+        targets = pick_targets(built, lambda a: a.link_mtu == 1500, 10)
+        results = discover_pmtu(net, "US-EDU-1", targets)
+        for result in results.values():
+            if result.confirmed:
+                assert result.path_mtu == 1500
+                assert result.rounds == 1
+
+    def test_census(self, built):
+        net = Internet(built)
+        targets = pick_targets(built, lambda a: True, 40)
+        results = discover_pmtu(net, "US-EDU-1", targets)
+        census = mtu_census(results)
+        assert set(census) <= {1280, 1480, 1500}
+        assert sum(census.values()) >= 1

@@ -1,0 +1,92 @@
+"""Tests for multi-worker permutation sharding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Internet, InternetConfig, build_internet
+from repro.prober import run_yarrp6
+from repro.prober.permutation import ProbeSchedule
+from repro.prober.yarrp6 import Yarrp6Config
+
+
+class TestScheduleSharding:
+    def test_shards_partition_the_space(self):
+        full = set(ProbeSchedule(13, 1, 7, key=5))
+        shard_union = set()
+        total = 0
+        for shard in range(4):
+            schedule = ProbeSchedule(13, 1, 7, key=5, shard=shard, shards=4)
+            pairs = list(schedule)
+            assert len(pairs) == len(schedule)
+            total += len(pairs)
+            overlap = shard_union & set(pairs)
+            assert not overlap
+            shard_union |= set(pairs)
+        assert shard_union == full
+        assert total == 13 * 7
+
+    def test_single_shard_is_identity(self):
+        base = list(ProbeSchedule(10, 1, 4, key=9))
+        solo = list(ProbeSchedule(10, 1, 4, key=9, shard=0, shards=1))
+        assert base == solo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeSchedule(5, 1, 4, key=1, shard=2, shards=2)
+        with pytest.raises(ValueError):
+            ProbeSchedule(5, 1, 4, key=1, shard=0, shards=0)
+        with pytest.raises(IndexError):
+            ProbeSchedule(5, 1, 4, key=1, shard=0, shards=2).pair(10**6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_partition_property(self, n_targets, shards, key):
+        full = sorted(ProbeSchedule(n_targets, 1, 5, key=key))
+        merged = []
+        for shard in range(shards):
+            merged.extend(
+                ProbeSchedule(n_targets, 1, 5, key=key, shard=shard, shards=shards)
+            )
+        assert sorted(merged) == full
+
+
+class TestShardedCampaigns:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return build_internet(
+            InternetConfig(n_edge=20, cpe_customers_per_isp=80, seed=29)
+        )
+
+    def test_two_workers_cover_one_campaign(self, built):
+        """Two shards' combined discovery equals the solo run's (same
+        probes, just split across instances)."""
+        targets = [
+            subnet.prefix.base | 1 for subnet in list(built.truth.subnets.values())[:80]
+        ]
+        solo_net = Internet(built)
+        solo = run_yarrp6(solo_net, "US-EDU-1", targets, pps=500, max_ttl=12)
+
+        shard_interfaces = set()
+        total_sent = 0
+        shard_net = Internet(built)
+        for shard in range(2):
+            shard_net.reset_dynamics()
+            result = run_yarrp6(
+                shard_net,
+                "US-EDU-1",
+                targets,
+                pps=500,
+                config=Yarrp6Config(max_ttl=12, shard=shard, shards=2, instance=shard + 1),
+            )
+            shard_interfaces |= result.interfaces
+            total_sent += result.sent
+        assert total_sent == solo.sent
+        # Responses are probabilistic at the margins; coverage matches
+        # within a whisker.
+        overlap = len(shard_interfaces & solo.interfaces)
+        assert overlap > len(solo.interfaces) * 0.95

@@ -1,0 +1,98 @@
+"""Cross-cutting robustness: fuzzed inputs must never crash the stack.
+
+A measurement tool lives on hostile input — mangled quotations, foreign
+ICMPv6, truncated packets.  These property tests drive arbitrary bytes
+through every parser-facing surface and assert graceful behaviour
+(counted, skipped, or raising only the documented error types).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addrs import address
+from repro.addrs.address import MAX_ADDRESS
+from repro.netsim import Internet, InternetConfig, build_internet
+from repro.packet import icmpv6, ipv6
+from repro.packet.ipv6 import IPv6Header, PacketError
+from repro.prober.encoding import DecodeError, decode_quotation
+from repro.prober.output import OutputError, loads
+from repro.prober.records import ResponseProcessor
+
+
+@pytest.fixture(scope="module")
+def net():
+    return Internet(config=InternetConfig(n_edge=10, cpe_customers_per_isp=30, seed=2))
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=200))
+    def test_ipv6_unpack_never_crashes(self, data):
+        try:
+            IPv6Header.unpack(data)
+        except PacketError:
+            pass
+
+    @given(st.binary(max_size=200))
+    def test_icmpv6_unpack_never_crashes(self, data):
+        try:
+            icmpv6.ICMPv6Message.unpack(data)
+        except PacketError:
+            pass
+
+    @given(st.binary(max_size=300))
+    def test_decode_quotation_never_crashes(self, data):
+        try:
+            decode_quotation(data)
+        except DecodeError:
+            pass
+
+    @given(st.binary(max_size=300))
+    def test_response_processor_never_crashes(self, data):
+        processor = ResponseProcessor()
+        processor.process(data, now=0, sent_so_far=1)
+        # Whatever happened, it was accounted somewhere.
+        assert processor.received == 1
+
+    @given(st.text(max_size=400))
+    def test_output_loads_never_crashes(self, text):
+        try:
+            loads(text)
+        except OutputError:
+            pass
+
+
+class TestInternetFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=MAX_ADDRESS),
+        st.integers(min_value=1, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=60),
+    )
+    def test_arbitrary_payload_probes(self, dst, hop_limit, next_header, payload):
+        """Any syntactically valid IPv6 packet from a vantage gets either
+        a response or silence — never an exception."""
+        internet = _NET
+        vantage = internet.vantage("US-EDU-1")
+        packet = ipv6.build_packet(
+            IPv6Header(vantage.address, dst, 0, next_header, hop_limit=hop_limit),
+            payload,
+        )
+        response = internet.probe(packet, now=0)
+        if response is not None:
+            assert isinstance(response.data, bytes)
+            # Responses themselves parse as IPv6.
+            IPv6Header.unpack(response.data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=39))
+    def test_short_packets_rejected_cleanly(self, data):
+        internet = _NET
+        with pytest.raises((PacketError, ValueError)):
+            internet.probe(data, now=0)
+
+
+# Hypothesis forbids function-scoped fixtures in @given tests; a module
+# global keeps one simulator for all examples.
+_NET = Internet(config=InternetConfig(n_edge=10, cpe_customers_per_isp=30, seed=2))
