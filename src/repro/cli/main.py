@@ -36,7 +36,14 @@ from ..analysis import (
 from ..hitlist import make_targets
 from ..hitlist.transform import SeedItem
 from ..netsim import Internet, InternetConfig, build_internet
-from ..prober import run_doubletree, run_sequential, run_yarrp6
+from ..prober import (
+    CampaignSpec,
+    Yarrp6Config,
+    run_doubletree,
+    run_parallel,
+    run_sequential,
+    run_yarrp6,
+)
 from ..prober.output import load_campaign, save_campaign
 from ..seeds import build_all_seeds
 from .worldcfg import load_config, save_config
@@ -134,16 +141,32 @@ _PROBERS = {
 
 
 def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
-    internet = Internet(_load_world(args.world))
     targets = [item for item in _read_items(args.targets) if isinstance(item, int)]
     if not targets:
         out.write("no targets in %s\n" % args.targets)
         return 2
-    runner = _PROBERS[args.prober]
-    kwargs = {}
-    if args.prober == "yarrp6":
-        kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
-    result = runner(internet, args.vantage, targets, pps=args.pps, **kwargs)
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        if args.prober != "yarrp6":
+            out.write("--workers requires the yarrp6 prober (stateless shards)\n")
+            return 2
+        with open(args.world) as source:
+            world_config = load_config(source)
+        spec = CampaignSpec(
+            internet=world_config,
+            vantage=args.vantage,
+            targets=tuple(targets),
+            pps=args.pps,
+            config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
+        )
+        result = run_parallel(spec, shards=workers)
+    else:
+        internet = Internet(_load_world(args.world))
+        runner = _PROBERS[args.prober]
+        kwargs = {}
+        if args.prober == "yarrp6":
+            kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
+        result = runner(internet, args.vantage, targets, pps=args.pps, **kwargs)
     rows = save_campaign(args.out, result)
     out.write(
         "%s from %s: %d probes, %d responses, %d interfaces; %d rows -> %s\n"
@@ -244,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--pps", type=float, default=1000.0)
     probe.add_argument("--max-ttl", type=int, default=16)
     probe.add_argument("--fill", action="store_true")
+    probe.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="split the campaign into N permutation shards run in parallel "
+        "worker processes (yarrp6 only)",
+    )
     probe.add_argument("--out", required=True)
     probe.set_defaults(handler=cmd_probe)
 

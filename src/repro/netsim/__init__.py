@@ -7,6 +7,7 @@ from .build import (
     Vantage,
     VantageConfig,
     build_internet,
+    decoupled_dynamics,
 )
 from .ecmp import VARIANTS, flow_hash, flow_variant
 from .engine import Engine, US_PER_SECOND, pps_interval, seconds
@@ -46,6 +47,7 @@ __all__ = [
     "Vantage",
     "VantageConfig",
     "build_internet",
+    "decoupled_dynamics",
     "flow_hash",
     "flow_variant",
     "pps_interval",

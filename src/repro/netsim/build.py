@@ -28,7 +28,7 @@ evaluation turns on:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..addrs.prefix import Prefix
@@ -710,3 +710,47 @@ class _Builder:
 def build_internet(config: Optional[InternetConfig] = None) -> BuiltInternet:
     """Generate a ground-truth internet from ``config`` (seeded, repeatable)."""
     return _Builder(config or InternetConfig()).build()
+
+
+#: A token-bucket parameterization that can never run dry at campaign
+#: scales — used by :func:`decoupled_dynamics` to make rate limiting
+#: non-binding without changing the topology machinery.
+_UNLIMITED = (1e15, 1e15)
+
+
+def decoupled_dynamics(config: Optional[InternetConfig] = None) -> InternetConfig:
+    """A copy of ``config`` whose dynamic couplings are non-binding.
+
+    The returned world drops nothing stochastically (no response loss,
+    no probabilistic gateways or silent routers, hosts always answer)
+    and its ICMPv6 rate limiters are too generous to ever deny a token.
+    Every response is then a pure function of the probe's bytes and send
+    time, independent of what other probes the internet saw first — the
+    property ``prober.parallel`` builds its determinism contract on:
+    campaigns over a decoupled world decompose exactly into permutation
+    shards.  (It is still a *different* world from the same seed with
+    default knobs: the generator consumes its RNG differently.)
+    """
+    base = config or InternetConfig()
+    vantages = tuple(
+        replace(
+            vantage,
+            premise_limit=_UNLIMITED,
+            aggressive_hops=(),
+            aggressive_limit=_UNLIMITED,
+        )
+        for vantage in base.vantages
+    )
+    return replace(
+        base,
+        response_loss=0.0,
+        gateway_unreach_probability=0.0,
+        host_error_probability=1.0,
+        silent_router_fraction=0.0,
+        icmp_only_router_fraction=0.0,
+        core_limit_rate=_UNLIMITED,
+        core_limit_burst=_UNLIMITED,
+        edge_limit_rate=_UNLIMITED,
+        edge_limit_burst=_UNLIMITED,
+        vantages=vantages,
+    )

@@ -163,6 +163,17 @@ class Internet:
     validation do).
     """
 
+    @classmethod
+    def from_config(cls, config: Optional[InternetConfig] = None) -> "Internet":
+        """Rebuild the full simulated internet from its spec.
+
+        Worlds are pure functions of their :class:`InternetConfig` (every
+        quantity is drawn from the config's seed), so a config is all a
+        parallel shard worker needs to reconstruct the identical internet
+        in its own process — no topology object ever crosses a pipe.
+        """
+        return cls(build_internet(config))
+
     def __init__(self, built: Optional[BuiltInternet] = None, config: Optional[InternetConfig] = None):
         if built is None:
             built = build_internet(config)

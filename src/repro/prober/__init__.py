@@ -20,6 +20,15 @@ from .encoding import (
     encode_probe,
     rtt_from,
 )
+from .parallel import (
+    CampaignSpec,
+    ShardFailure,
+    merge_results,
+    run_parallel,
+    run_shard,
+    run_single,
+    validate_spec,
+)
 from .permutation import KeyedPermutation, ProbeSchedule
 from .mda import MDAConfig, MDAResult, run_mda
 from .output import (
@@ -39,6 +48,7 @@ from .yarrp6 import Yarrp6, Yarrp6Config
 __all__ = [
     "AdaptiveConfig",
     "CampaignResult",
+    "CampaignSpec",
     "DEST_PORT",
     "DecodeError",
     "DecodedProbe",
@@ -59,6 +69,7 @@ __all__ = [
     "ResponseProcessor",
     "SequentialConfig",
     "SequentialProber",
+    "ShardFailure",
     "Speedtrap",
     "SpeedtrapConfig",
     "Yarrp6",
@@ -69,6 +80,7 @@ __all__ = [
     "encode_probe",
     "load_campaign",
     "loads",
+    "merge_results",
     "rtt_from",
     "mtu_census",
     "run_mda",
@@ -76,8 +88,12 @@ __all__ = [
     "run_adaptive_yarrp6",
     "run_campaign",
     "run_doubletree",
+    "run_parallel",
     "run_sequential",
+    "run_shard",
+    "run_single",
     "run_speedtrap",
+    "validate_spec",
     "write_campaign",
     "run_yarrp6",
 ]

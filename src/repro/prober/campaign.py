@@ -67,18 +67,32 @@ def run_campaign(
     name: Optional[str] = None,
     engine: Optional[Engine] = None,
     reset: bool = True,
+    pace_offset_us: int = 0,
+    pace_stride: int = 1,
 ) -> CampaignResult:
     """Run one probing campaign to completion in virtual time.
 
     ``reset`` refills every router's rate limiter first, isolating the
     campaign from earlier trials (the paper ran trials on separate days).
+
+    ``pace_offset_us``/``pace_stride`` interleave this instance with
+    cooperating shard instances on the virtual clock: the first emission
+    happens at ``pace_offset_us`` and subsequent ones every ``pace_stride``
+    probe intervals.  Shard ``s`` of ``N`` run with offset ``s * interval``
+    and stride ``N`` occupies exactly the emission slots the single-process
+    walk would give its permutation positions, which is what makes the
+    parallel runner's merge bit-for-bit faithful (see ``prober.parallel``).
     """
+    if pace_stride < 1:
+        raise ValueError("pace_stride must be >= 1: %r" % pace_stride)
+    if pace_offset_us < 0:
+        raise ValueError("negative pace_offset_us: %r" % pace_offset_us)
     if reset:
         internet.reset_dynamics()
     engine = engine or Engine()
     vantage = internet.vantage(vantage_name)
     machine = _make_prober(prober, vantage.address, targets, config)
-    interval = pps_interval(pps)
+    interval = pps_interval(pps) * pace_stride
 
     def tick() -> None:
         packet = machine.next_probe(engine.now)
@@ -91,9 +105,14 @@ def run_campaign(
         if response is not None:
             data = response.data
             engine.schedule(response.delay_us, lambda data=data: machine.receive(data, engine.now))
-        engine.schedule(interval, tick)
+        if not machine.exhausted:
+            # Probers that exhaust on their final emission (Yarrp6) end the
+            # campaign here, so duration is the last emission or response —
+            # never an empty trailing tick, whose time would depend on the
+            # pacing stride rather than on the probe stream itself.
+            engine.schedule(interval, tick)
 
-    engine.schedule(0, tick)
+    engine.schedule(pace_offset_us, tick)
     engine.run()
 
     processor = machine.processor

@@ -1,0 +1,324 @@
+"""Parallel campaign execution: one Yarrp6 permutation shard per worker
+process, merged deterministically.
+
+Yarrp6's keyed permutation was designed so cooperating instances can
+split the probe space with no shared state (Section 4.1): shard ``s`` of
+``N`` walks the permutation positions congruent to ``s`` modulo ``N``.
+This module runs those shards in a :mod:`multiprocessing` pool and glues
+the results back together so that::
+
+    run_parallel(spec, shards=N) == single-process campaign of ``spec``
+
+holds bit for bit, for any ``N``, whenever the campaign is *decomposable*
+(see below).  Three mechanisms make that true:
+
+**Spec pickling, not object pickling.**  Workers never receive a live
+:class:`~repro.netsim.internet.Internet` — a :class:`CampaignSpec` holds
+only the :class:`~repro.netsim.build.InternetConfig` (a dataclass of
+numbers), the vantage name, the target list and the prober config.  Each
+worker rebuilds the identical world from the config's seed via
+:meth:`Internet.from_config`.
+
+**Stride pacing.**  The single-process walk emits permutation position
+``p`` at virtual time ``p * interval``.  Shard ``s`` therefore runs with
+its first emission at ``s * interval`` and one emission every ``N *
+interval`` — its emissions land on exactly the virtual-clock slots the
+single process would give its positions, so every probe carries the same
+bytes (including the embedded send timestamp) at the same time.
+
+**Deterministic merge.**  Records are sorted by arrival time, then by
+send time (the event order the single-process engine produces), then by
+shard id; interface sets are unioned; the discovery curve is replayed on
+the virtual-time axis with the global sent-counter reconstructed from
+the shards' emission clocks; summary counters and rate-limiter drop
+tallies are summed; duration is the maximum over shards.
+
+The contract is exact when the simulated internet's dynamics are
+*decoupled* — responses are a pure function of each probe — which
+:func:`repro.netsim.build.decoupled_dynamics` guarantees, and when the
+prober config keeps the emission stream a pure permutation walk (no fill
+probes, no neighborhood skipping: both react to responses, which a shard
+only partially sees).  Outside the contract ``run_parallel`` is still
+deterministic and still covers every (target, TTL) pair exactly once;
+the merged result is then the union of N cooperating instances rather
+than a bit-replay of one instance, exactly as with real cooperating
+yarrp processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..netsim.build import InternetConfig
+from ..netsim.engine import pps_interval
+from ..netsim.internet import Internet
+from .campaign import CampaignResult, run_campaign
+from .permutation import ProbeSchedule
+from .records import ProbeRecord
+from .yarrp6 import Yarrp6Config
+
+
+class ShardFailure(RuntimeError):
+    """A worker process failed; carries the worker's traceback text."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to run one campaign, compactly picklable.
+
+    ``config`` must describe an *unsharded* prober (``shard=0, shards=1``);
+    :func:`run_parallel` assigns shard identities itself.
+    """
+
+    internet: InternetConfig
+    vantage: str
+    targets: Tuple[int, ...]
+    pps: float = 1000.0
+    config: Optional[Yarrp6Config] = None
+    name: Optional[str] = None
+
+    def prober_config(self) -> Yarrp6Config:
+        return self.config or Yarrp6Config()
+
+    def default_name(self) -> str:
+        return self.name or "%s/yarrp6" % self.vantage
+
+
+def validate_spec(spec: CampaignSpec, shards: int) -> None:
+    """Raise ``ValueError`` for any spec the workers would choke on.
+
+    Runs in the parent, *before* any worker forks: a bad shard count, TTL
+    range or empty target list must fail immediately with a clean error,
+    not N times inside a pool.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1: %r" % shards)
+    if not spec.targets:
+        raise ValueError("no targets")
+    config = spec.prober_config()
+    if config.shard != 0 or config.shards != 1:
+        raise ValueError(
+            "spec config must be unsharded (shard=0, shards=1); "
+            "run_parallel assigns shard identities: got shard=%r shards=%r"
+            % (config.shard, config.shards)
+        )
+    # Constructing the widest shard's schedule exercises every validation
+    # the workers would hit: TTL range, domain size, shard arithmetic.
+    ProbeSchedule(
+        len(spec.targets),
+        config.min_ttl,
+        config.max_ttl,
+        config.key,
+        shard=shards - 1,
+        shards=shards,
+    )
+    pps_interval(spec.pps)
+
+
+def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:
+    """Run one permutation shard of ``spec`` to completion in-process."""
+    config = replace(spec.prober_config(), shard=shard, shards=shards)
+    internet = Internet.from_config(spec.internet)
+    base = pps_interval(spec.pps)
+    return run_campaign(
+        internet,
+        spec.vantage,
+        list(spec.targets),
+        "yarrp6",
+        spec.pps,
+        config,
+        name="%s[%d/%d]" % (spec.default_name(), shard, shards),
+        pace_offset_us=shard * base,
+        pace_stride=shards,
+    )
+
+
+def run_single(spec: CampaignSpec) -> CampaignResult:
+    """The single-process reference campaign for ``spec``."""
+    internet = Internet.from_config(spec.internet)
+    return run_campaign(
+        internet,
+        spec.vantage,
+        list(spec.targets),
+        "yarrp6",
+        spec.pps,
+        spec.prober_config(),
+        name=spec.name,
+    )
+
+
+def _shard_worker(payload):
+    """Pool entry point: never raises, so a failure is a value the parent
+    turns into one clean :class:`ShardFailure` instead of a pool hang."""
+    spec, shard, shards = payload
+    try:
+        return ("ok", shard, run_shard(spec, shard, shards))
+    except BaseException:
+        return ("error", shard, traceback.format_exc())
+
+
+def _make_pool(processes: int, start_method: Optional[str]):
+    """Build the worker pool (separate hook so tests can assert that
+    validation failures never reach it)."""
+    if start_method is None:
+        start_method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+    return multiprocessing.get_context(start_method).Pool(processes)
+
+
+def run_parallel(
+    spec: CampaignSpec,
+    shards: int,
+    processes: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> CampaignResult:
+    """Run ``spec`` as ``shards`` cooperating Yarrp6 instances and merge.
+
+    ``processes`` caps the worker pool (default: one per shard, bounded
+    by the CPU count); with one process the shards run serially in this
+    process, which produces the identical result — the merge is a pure
+    function of the shard results.
+    """
+    validate_spec(spec, shards)
+    if processes is None:
+        processes = min(shards, os.cpu_count() or 1)
+    processes = max(1, min(processes, shards))
+
+    payloads = [(spec, shard, shards) for shard in range(shards)]
+    results: List[Optional[CampaignResult]] = [None] * shards
+    if processes == 1:
+        outcomes = map(_shard_worker, payloads)
+        for outcome in outcomes:
+            _place(outcome, results)
+    else:
+        pool = _make_pool(processes, start_method)
+        try:
+            for outcome in pool.imap_unordered(_shard_worker, payloads):
+                _place(outcome, results)
+        finally:
+            pool.terminate()
+            pool.join()
+    return merge_results(
+        [result for result in results if result is not None],
+        spec.pps,
+        name=spec.default_name(),
+        targets=len(spec.targets),
+    )
+
+
+def _place(outcome, results) -> None:
+    status, shard, value = outcome
+    if status != "ok":
+        raise ShardFailure(
+            "shard %d worker failed:\n%s" % (shard, value)
+        )
+    results[shard] = value
+
+
+def _record_send_time(record: ProbeRecord) -> int:
+    """Virtual send time recovered from the record's own timestamps."""
+    return record.received_at - record.rtt_us
+
+
+def _global_sent_at(
+    when: int, rtt_us: int, base: int, shards: int, shard_sent: Sequence[int]
+) -> int:
+    """Probes sent across all shards when a response arriving at ``when``
+    is processed, replicating the single-process engine's event order.
+
+    Shard ``s`` emits its ``k``-th probe at ``s*base + k*shards*base``
+    (stride pacing, one emission per tick until exhaustion), so counting
+    emissions before ``when`` is arithmetic.  A response arriving exactly
+    on an emission slot is processed *after* that emission only when its
+    round trip was shorter than one interval — the same tiebreak the
+    engine's (time, sequence) heap produces, because a response is
+    scheduled at its probe's send time and the tick at ``when`` was
+    scheduled one interval earlier.
+    """
+    stride = base * shards
+    total = 0
+    for shard, cap in enumerate(shard_sent):
+        offset = shard * base
+        if when < offset:
+            continue
+        delta = when - offset
+        before, remainder = divmod(delta, stride)
+        if remainder:
+            before += 1  # emissions strictly before ``when``
+        elif before < cap and rtt_us < base:
+            before += 1  # the emission exactly at ``when`` went first
+        total += min(before, cap)
+    return total
+
+
+def merge_results(
+    shard_results: Sequence[CampaignResult],
+    pps: float,
+    name: Optional[str] = None,
+    targets: Optional[int] = None,
+) -> CampaignResult:
+    """Deterministically merge per-shard results into one campaign.
+
+    Pure and order-insensitive: shard results may arrive from the pool in
+    any order; everything is re-sorted on the virtual clock.
+    """
+    if not shard_results:
+        raise ValueError("no shard results to merge")
+    shards = len(shard_results)
+    base = pps_interval(pps)
+    first = shard_results[0]
+
+    tagged: List[Tuple[int, int, int, ProbeRecord]] = []
+    for shard, result in enumerate(shard_results):
+        for record in result.records:
+            tagged.append((record.received_at, _record_send_time(record), shard, record))
+    tagged.sort(key=lambda item: item[:3])
+
+    shard_sent = [result.sent for result in shard_results]
+    interfaces = set()
+    records: List[ProbeRecord] = []
+    curve: List[Tuple[int, int]] = []
+    for received_at, send_time, shard, record in tagged:
+        records.append(record)
+        if record.is_time_exceeded and record.hop not in interfaces:
+            interfaces.add(record.hop)
+            curve.append(
+                (
+                    _global_sent_at(
+                        received_at, record.rtt_us, base, shards, shard_sent
+                    ),
+                    len(interfaces),
+                )
+            )
+
+    summary = {}
+    for result in shard_results:
+        for key, value in result.summary.items():
+            summary[key] = summary.get(key, 0) + value
+    summary["interfaces"] = len(interfaces)
+
+    response_labels = {}
+    for result in shard_results:
+        for label, count in result.response_labels.items():
+            response_labels[label] = response_labels.get(label, 0) + count
+
+    return CampaignResult(
+        name=name or first.name,
+        vantage=first.vantage,
+        prober=first.prober,
+        pps=pps,
+        targets=targets if targets is not None else first.targets,
+        sent=sum(shard_sent),
+        records=records,
+        interfaces=interfaces,
+        curve=curve,
+        response_labels=response_labels,
+        summary=summary,
+        duration_us=max(result.duration_us for result in shard_results),
+        traces=targets if targets is not None else first.traces,
+    )

@@ -15,7 +15,7 @@ bijection to ``[0, n)``.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 #: Feistel rounds; four suffice for statistical mixing (this is not a
 #: security boundary, just burst-avoidance).
@@ -78,12 +78,65 @@ class KeyedPermutation:
             value = self._encrypt(value)
         return value
 
+    def images(self, indices: Iterable[int]) -> List[int]:
+        """Batched ``[self[i] for i in indices]``.
+
+        The Feistel network is inlined with round keys, shift amounts and
+        masks hoisted into locals, so a block costs one attribute-lookup
+        preamble instead of one per index — the hot-path amortization the
+        pull loop and the parallel shard workers rely on.
+        """
+        n = self.n
+        half = self._half
+        mask = self._mask
+        round_keys = self._round_keys
+        out: List[int] = []
+        append = out.append
+        for index in indices:
+            if not 0 <= index < n:
+                raise IndexError("index %d out of range [0, %d)" % (index, n))
+            value = index
+            while True:
+                left = value >> half
+                right = value & mask
+                for round_key in round_keys:
+                    mixed = (right ^ round_key) & 0xFFFFFFFFFFFFFFFF
+                    mixed = (mixed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+                    mixed ^= mixed >> 29
+                    mixed = (mixed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+                    mixed ^= mixed >> 32
+                    left, right = right, left ^ (mixed & mask)
+                value = (left << half) | right
+                if value < n:
+                    break
+            append(value)
+        return out
+
+    def block(self, start: int, count: int) -> List[int]:
+        """Images of the contiguous index range ``[start, start+count)``.
+
+        Equivalent to ``[self[i] for i in range(start, start + count)]``
+        but encrypted in one batched call.
+        """
+        if count < 0:
+            raise ValueError("negative count: %r" % count)
+        if not (0 <= start and start + count <= self.n):
+            raise IndexError(
+                "block [%d, %d) out of range [0, %d)" % (start, start + count, self.n)
+            )
+        return self.images(range(start, start + count))
+
     def __len__(self) -> int:
         return self.n
 
     def __iter__(self) -> Iterator[int]:
-        for index in range(self.n):
-            yield self[index]
+        for start in range(0, self.n, _ITER_BLOCK):
+            for value in self.block(start, min(_ITER_BLOCK, self.n - start)):
+                yield value
+
+
+#: Chunk size used when iterating a whole permutation or schedule.
+_ITER_BLOCK = 1024
 
 
 class ProbeSchedule:
@@ -128,13 +181,42 @@ class ProbeSchedule:
     def __len__(self) -> int:
         return self.total
 
-    def pair(self, index: int) -> Tuple[int, int]:
-        """(target index, TTL) for this shard's emission number ``index``."""
+    def position(self, index: int) -> int:
+        """Global permutation position of this shard's emission ``index``:
+        cooperating shards interleave, so shard ``s`` owns the positions
+        congruent to ``s`` modulo ``shards``."""
         if not 0 <= index < self.total:
             raise IndexError("emission %d out of range" % index)
-        value = self._perm[self.shard + index * self.shards]
+        return self.shard + index * self.shards
+
+    def pair(self, index: int) -> Tuple[int, int]:
+        """(target index, TTL) for this shard's emission number ``index``."""
+        value = self._perm[self.position(index)]
         return value // self.n_ttls, self.ttl_min + (value % self.n_ttls)
 
+    def block(self, index: int, count: int) -> List[Tuple[int, int]]:
+        """(target index, TTL) pairs for emissions ``[index, index+count)``
+        in one batched permutation call — the fast path of the pull loop."""
+        if count < 0:
+            raise ValueError("negative count: %r" % count)
+        if not (0 <= index and index + count <= self.total):
+            raise IndexError(
+                "block [%d, %d) out of range [0, %d)"
+                % (index, index + count, self.total)
+            )
+        positions = range(
+            self.shard + index * self.shards,
+            self.shard + (index + count) * self.shards,
+            self.shards,
+        )
+        n_ttls = self.n_ttls
+        ttl_min = self.ttl_min
+        return [
+            (value // n_ttls, ttl_min + value % n_ttls)
+            for value in self._perm.images(positions)
+        ]
+
     def __iter__(self) -> Iterator[Tuple[int, int]]:
-        for index in range(self.total):
-            yield self.pair(index)
+        for start in range(0, self.total, _ITER_BLOCK):
+            for pair in self.block(start, min(_ITER_BLOCK, self.total - start)):
+                yield pair

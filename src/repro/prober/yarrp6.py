@@ -70,6 +70,10 @@ class Yarrp6:
         )
         self.processor = ResponseProcessor(self.config.instance)
         self._cursor = 0
+        #: Walk pairs prefetched via the schedule's batched fast path;
+        #: ``_fetched`` counts pairs pulled from the schedule so far.
+        self._buffer: Deque[Tuple[int, int]] = deque()
+        self._fetched = 0
         self._fill_queue: Deque[Tuple[int, int]] = deque()
         self.sent = 0
         self.fills = 0
@@ -84,14 +88,23 @@ class Yarrp6:
         """True when the permutation walk and fill queue are both done."""
         return self._cursor >= len(self.schedule) and not self._fill_queue
 
+    #: Pairs pulled per batched schedule call; amortizes the permutation's
+    #: per-index overhead without meaningfully front-running the walk.
+    BATCH = 256
+
     def next_probe(self, now: int) -> Optional[bytes]:
         """The next probe packet to emit at virtual time ``now``."""
         if self._fill_queue:
             target, ttl = self._fill_queue.popleft()
             self.fills += 1
             return self._encode(target, ttl, now)
-        while self._cursor < len(self.schedule):
-            target_index, ttl = self.schedule.pair(self._cursor)
+        total = len(self.schedule)
+        while self._cursor < total:
+            if not self._buffer:
+                count = min(self.BATCH, total - self._fetched)
+                self._buffer.extend(self.schedule.block(self._fetched, count))
+                self._fetched += count
+            target_index, ttl = self._buffer.popleft()
             self._cursor += 1
             if self._skip_neighborhood(ttl, now):
                 self.skipped += 1

@@ -129,6 +129,52 @@ class TestPipeline:
             )
             assert code == 0, text
 
+    def test_probe_workers_deterministic(self, world_file, tmp_path):
+        """--workers N probes every (target, TTL) pair exactly once and is
+        reproducible run-to-run.  (Bit-equality with --workers 1 holds only
+        for decoupled worlds — the default world rate-limits, so shards
+        legitimately see different limiter state; see docs/architecture.md.)
+        """
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        n_targets = len([l for l in open(targets_path) if l.strip()])
+
+        outputs = []
+        for name in ("a.yrp6", "b.yrp6"):
+            path = str(tmp_path / name)
+            code, text = run(
+                [
+                    "probe",
+                    "--world", world_file,
+                    "--targets", targets_path,
+                    "--workers", "2",
+                    "--out", path,
+                ]
+            )
+            assert code == 0, text
+            assert "%d probes" % (n_targets * 16) in text  # full coverage
+            outputs.append(open(path).read())
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip()  # responses actually recorded
+
+    def test_probe_workers_requires_yarrp6(self, world_file, tmp_path):
+        targets = tmp_path / "t"
+        targets.write_text("2001:db8::1\n")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", str(targets),
+                "--prober", "sequential",
+                "--workers", "2",
+                "--out", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 2
+        assert "yarrp6" in text
+
     def test_empty_targets_rejected(self, world_file, tmp_path):
         empty = tmp_path / "empty"
         empty.write_text("# nothing\n")

@@ -140,6 +140,61 @@ class TestDecode:
             decode_quotation(b"\x00" * 30)
 
 
+class TestGoldenVectors:
+    """Frozen (ttl, elapsed, instance, protocol) -> 12-byte payload vectors.
+
+    The payload layout (magic | instance | ttl | elapsed | checksum fudge)
+    is the wire contract every decoder — including a real yarrp parsing a
+    quotation — depends on.  These literals pin it: if any of them change,
+    the encoding changed, and old capture files stop decoding.  Vectors
+    use SRC=2001:db8::100, target=2a00::1; the fudge bytes depend on both.
+    """
+
+    # (ttl, elapsed, instance, protocol, payload-hex)
+    VECTORS = [
+        (1, 0, 0, "icmp6", "795036000001000000006046"),
+        (5, 123, 0, "icmp6", "7950360000050000007b5fc7"),
+        (16, 1_000_000, 7, "icmp6", "795036000710000f424016e8"),
+        (32, 2**31, 128, "icmp6", "795036008020800000006026"),
+        (255, 0xFFFFFFFF, 255, "icmp6", "79503600ffffffffffff6047"),
+        (64, 42, 1, "icmp6", "7950360001400000002a5edd"),
+        (8, 999_999_999, 200, "icmp6", "79503600c8083b9ac9ff92a4"),
+        (3, 77, 9, "udp", "7950360009030000004dd70c"),
+        (12, 0xDEADBEEF, 255, "udp", "79503600ff0cdeadbeef43b2"),
+        (9, 31337, 42, "tcp", "795036002a0900007a69ebfa"),
+    ]
+    # Transport payload offset: 40B IPv6 header + transport header.
+    OFFSETS = {"icmp6": 48, "udp": 48, "tcp": 60}
+
+    @pytest.mark.parametrize("ttl,elapsed,instance,protocol,expected", VECTORS)
+    def test_payload_bytes_frozen(self, ttl, elapsed, instance, protocol, expected):
+        packet = encode_probe(
+            SRC, parse("2a00::1"), ttl, elapsed, instance, protocol
+        )
+        offset = self.OFFSETS[protocol]
+        payload = packet[offset : offset + PAYLOAD_LENGTH]
+        assert payload.hex() == expected
+
+    @pytest.mark.parametrize("ttl,elapsed,instance,protocol,expected", VECTORS)
+    def test_golden_payloads_decode(self, ttl, elapsed, instance, protocol, expected):
+        """The frozen vectors round-trip through the decoder, so the
+        literals themselves are self-consistent."""
+        packet = encode_probe(
+            SRC, parse("2a00::1"), ttl, elapsed, instance, protocol
+        )
+        decoded = decode_quotation(packet, instance=instance)
+        assert (decoded.ttl, decoded.elapsed, decoded.instance) == (
+            ttl,
+            elapsed,
+            instance,
+        )
+
+    def test_magic_prefix_constant(self):
+        assert MAGIC == 0x79503600
+        for *_rest, payload_hex in self.VECTORS:
+            assert payload_hex.startswith("79503600")
+
+
 class TestRtt:
     def test_simple(self):
         assert rtt_from(1000, 3500) == 2500

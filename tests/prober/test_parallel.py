@@ -1,0 +1,201 @@
+"""Tests for the parallel campaign runner (shard execution + merge).
+
+The determinism contract under test: for a decoupled-dynamics world and
+a pure permutation walk (no fill, no neighborhood skipping),
+
+    run_parallel(spec, shards=N) == run_single(spec)
+
+field by field, for any N.  The merge is a pure function of the shard
+results, so most tests run the shards serially (``processes=1``) for
+speed; one test drives a real worker pool end to end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import InternetConfig, build_internet, decoupled_dynamics
+from repro.prober import (
+    CampaignSpec,
+    ShardFailure,
+    Yarrp6Config,
+    run_parallel,
+    run_single,
+)
+from repro.prober import parallel as parallel_module
+
+
+_WORLDS = {}
+
+
+def small_world(seed):
+    """A tiny decoupled world plus its leaf-host targets, cached per seed."""
+    if seed not in _WORLDS:
+        config = decoupled_dynamics(
+            InternetConfig(
+                seed=seed,
+                n_edge=6,
+                n_tier2=3,
+                n_cpe_isps=1,
+                cpe_customers_per_isp=12,
+            )
+        )
+        built = build_internet(config)
+        targets = tuple(
+            subnet.prefix.base | 1 for subnet in built.truth.subnets.values()
+        )
+        _WORLDS[seed] = (config, targets)
+    return _WORLDS[seed]
+
+
+def record_key(record):
+    return (
+        record.target,
+        record.ttl,
+        record.hop,
+        record.icmp_type,
+        record.icmp_code,
+        record.label,
+        record.rtt_us,
+        record.received_at,
+        record.target_modified,
+    )
+
+
+def assert_identical(merged, reference):
+    """Field-by-field CampaignResult equality (records projected to value
+    tuples: ProbeRecord has __slots__ and no __eq__)."""
+    assert merged.sent == reference.sent
+    assert [record_key(r) for r in merged.records] == [
+        record_key(r) for r in reference.records
+    ]
+    assert merged.interfaces == reference.interfaces
+    assert merged.curve == reference.curve
+    assert merged.summary == reference.summary
+    assert merged.response_labels == reference.response_labels
+    assert merged.duration_us == reference.duration_us
+    assert merged.vantage == reference.vantage
+    assert merged.prober == reference.prober
+    assert merged.targets == reference.targets
+
+
+class TestMergeEqualsSingleProcess:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_acceptance_n_1_2_4(self, shards):
+        """The acceptance criterion: N in {1, 2, 4} bit-identical."""
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="US-EDU-1", targets=targets[:30], pps=900.0
+        )
+        reference = run_single(spec)
+        merged = run_parallel(spec, shards=shards, processes=1)
+        assert_identical(merged, reference)
+
+    def test_real_worker_pool(self):
+        """Same equality through an actual multiprocessing pool, with
+        shard results arriving in arbitrary order."""
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="US-EDU-1", targets=targets[:24], pps=1100.0
+        )
+        reference = run_single(spec)
+        merged = run_parallel(spec, shards=4, processes=2)
+        assert_identical(merged, reference)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.sampled_from([7, 21]),
+        n_targets=st.integers(min_value=1, max_value=30),
+        ttl_range=st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=5, max_value=12),
+        ),
+        key=st.integers(min_value=0, max_value=2**64),
+        shards=st.integers(min_value=1, max_value=8),
+        pps=st.sampled_from([250.0, 1000.0, 3333.0]),
+    )
+    def test_merge_property(self, seed, n_targets, ttl_range, key, shards, pps):
+        """Satellite 1: for random (n, ttl range, key, N <= 8) the merged
+        parallel campaign equals the single-process one field by field."""
+        config, targets = small_world(seed)
+        min_ttl, max_ttl = ttl_range
+        spec = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:n_targets],
+            pps=pps,
+            config=Yarrp6Config(min_ttl=min_ttl, max_ttl=max_ttl, key=key),
+        )
+        reference = run_single(spec)
+        merged = run_parallel(spec, shards=shards, processes=1)
+        assert_identical(merged, reference)
+
+    def test_merged_name_and_metadata(self):
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="US-EDU-1", targets=targets[:10]
+        )
+        merged = run_parallel(spec, shards=2, processes=1)
+        assert merged.name == "US-EDU-1/yarrp6"
+        assert merged.targets == 10
+        assert merged.pps == spec.pps
+
+
+class TestValidation:
+    def bomb(self, *args, **kwargs):
+        raise AssertionError("pool must not be created for an invalid spec")
+
+    def test_errors_raise_before_any_fork(self, monkeypatch):
+        """Satellite 4: a bad shard count or config fails with one clean
+        ValueError in the parent, before any worker pool exists."""
+        monkeypatch.setattr(parallel_module, "_make_pool", self.bomb)
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="US-EDU-1", targets=targets[:5]
+        )
+        with pytest.raises(ValueError):
+            run_parallel(spec, shards=0, processes=4)
+        with pytest.raises(ValueError):
+            run_parallel(spec, shards=-2, processes=4)
+        bad_ttl = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:5],
+            config=Yarrp6Config(min_ttl=9, max_ttl=3),
+        )
+        with pytest.raises(ValueError):
+            run_parallel(bad_ttl, shards=4, processes=4)
+        empty = CampaignSpec(internet=config, vantage="US-EDU-1", targets=())
+        with pytest.raises(ValueError):
+            run_parallel(empty, shards=2, processes=4)
+
+    def test_presharded_config_rejected(self, monkeypatch):
+        """run_parallel owns shard assignment; a spec that already carries
+        a shard identity is a caller bug, not something to silently nest."""
+        monkeypatch.setattr(parallel_module, "_make_pool", self.bomb)
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:5],
+            config=Yarrp6Config(shard=1, shards=3),
+        )
+        with pytest.raises(ValueError):
+            run_parallel(spec, shards=2, processes=4)
+
+    def test_worker_exception_surfaces_cleanly(self):
+        """A failure inside a worker becomes one ShardFailure carrying the
+        worker traceback — not a hang, not a pickled half-error."""
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="NO-SUCH-VANTAGE", targets=targets[:5]
+        )
+        with pytest.raises(ShardFailure) as excinfo:
+            run_parallel(spec, shards=2, processes=2)
+        message = str(excinfo.value)
+        assert "worker failed" in message
+        assert "NO-SUCH-VANTAGE" in message
+
+    def test_merge_requires_results(self):
+        with pytest.raises(ValueError):
+            parallel_module.merge_results([], pps=1000.0)

@@ -48,6 +48,74 @@ class TestKeyedPermutation:
         assert adjacent < len(values) * 0.01
 
 
+class TestBlockFastPath:
+    """The batched fast path must be indistinguishable from repeated
+    single-index evaluation — it exists purely to amortize loop overhead
+    in Yarrp6's pull loop."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=3000),
+        key=st.integers(min_value=0, max_value=2**64),
+        data=st.data(),
+    )
+    def test_block_equals_indexing(self, n, key, data):
+        """Satellite 2: block(start, count) == [perm[i] for i in the same
+        range], over random domains including non-power-of-two sizes
+        (cycle-walking) and blocks running up to the domain end."""
+        perm = KeyedPermutation(n, key)
+        start = data.draw(st.integers(min_value=0, max_value=n - 1))
+        count = data.draw(st.integers(min_value=0, max_value=n - start))
+        assert perm.block(start, count) == [
+            perm[index] for index in range(start, start + count)
+        ]
+
+    def test_block_spans_entire_domain(self):
+        for n in (1, 2, 7, 64, 100, 1023, 1024, 1025):
+            perm = KeyedPermutation(n, 42)
+            assert perm.block(0, n) == [perm[i] for i in range(n)]
+
+    def test_block_bounds(self):
+        perm = KeyedPermutation(10, 1)
+        with pytest.raises(IndexError):
+            perm.block(0, 11)
+        with pytest.raises(IndexError):
+            perm.block(9, 2)
+        with pytest.raises(IndexError):
+            perm.block(-1, 1)
+        assert perm.block(10, 0) == []
+
+    def test_iter_uses_chunks_consistently(self):
+        """__iter__ now walks in chunks; order must be unchanged."""
+        perm = KeyedPermutation(2500, 17)
+        assert list(perm) == [perm[i] for i in range(2500)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_targets=st.integers(min_value=1, max_value=60),
+        shards=st.integers(min_value=1, max_value=5),
+        key=st.integers(min_value=0, max_value=2**32),
+        data=st.data(),
+    )
+    def test_schedule_block_equals_pair(self, n_targets, shards, key, data):
+        shard = data.draw(st.integers(min_value=0, max_value=shards - 1))
+        schedule = ProbeSchedule(
+            n_targets, 1, 6, key=key, shard=shard, shards=shards
+        )
+        total = len(schedule)
+        start = data.draw(st.integers(min_value=0, max_value=total))
+        count = data.draw(st.integers(min_value=0, max_value=total - start))
+        assert schedule.block(start, count) == [
+            schedule.pair(index) for index in range(start, start + count)
+        ]
+
+    def test_schedule_block_bounds(self):
+        schedule = ProbeSchedule(5, 1, 4, key=1, shard=1, shards=2)
+        with pytest.raises(IndexError):
+            schedule.block(0, len(schedule) + 1)
+        assert schedule.block(0, len(schedule)) == list(schedule)
+
+
 class TestProbeSchedule:
     def test_total(self):
         schedule = ProbeSchedule(10, 1, 16, key=1)
