@@ -69,7 +69,9 @@ class Prefix:
         return (self.base, self.length) <= (other.base, other.length)
 
     def __hash__(self) -> int:
-        return hash((self.base, self.length))
+        # Ints hash to themselves: PYTHONHASHSEED-independent, and the
+        # value never escapes the process anyway.
+        return hash((self.base, self.length))  # repro-lint: disable=DET001
 
     @property
     def last(self) -> int:

@@ -88,7 +88,9 @@ def transit_dominance(
         if len(path) < 2:
             continue
         total += 1
-        for asn in set(path[:-1]):
+        # Sorted so equal-count ASes rank deterministically in
+        # most_common() (Counter breaks ties by insertion order).
+        for asn in sorted(set(path[:-1])):
             appearances[asn] += 1
     if not total:
         return []

@@ -82,7 +82,8 @@ class SubnetCandidates:
     def length_histogram(self) -> Dict[int, int]:
         """Counts of candidate subnets per inferred minimum length."""
         histogram: Dict[int, int] = {}
-        for prefix in self.candidate_prefixes:
+        # Sorted so the histogram's key order is stable run to run.
+        for prefix in sorted(self.candidate_prefixes):
             histogram[prefix.length] = histogram.get(prefix.length, 0) + 1
         return histogram
 

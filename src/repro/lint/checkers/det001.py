@@ -1,0 +1,115 @@
+"""DET001: banned nondeterminism sources.
+
+The simulation runs on a virtual clock and seeded RNG streams; a single
+``time.time()`` or module-level ``random.random()`` in a code path that
+feeds probe bytes, emission order, or results silently breaks the
+``run_parallel == run_single`` bit-identity contract.  This rule bans
+the sources outright; the seeded alternatives (``Engine.now``,
+``random.Random(seed)``) are always available.
+
+Flagged:
+
+* wall-clock reads: ``time.time``/``time_ns``/``monotonic``/
+  ``perf_counter`` (+ ``_ns`` variants), ``time.clock_gettime``
+* ``datetime.datetime.now``/``utcnow``/``today``, ``datetime.date.today``
+* module-level ``random.*`` functions (``random.random``,
+  ``random.randint``, ...) — instances of ``random.Random(seed)`` are
+  the sanctioned replacement
+* ``random.Random()`` / ``random.SystemRandom`` — an *unseeded* Random
+  seeds itself from the OS
+* ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``, anything in ``secrets``
+* builtin ``hash()`` — PYTHONHASHSEED-dependent on ``str``/``bytes``;
+  suppress with ``# repro-lint: disable=DET001`` plus a comment naming
+  PYTHONHASHSEED where the salted hash genuinely cannot escape
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, LintContext, Violation, register
+from .common import import_origins, resolve_call_target
+
+#: Exact qualified call targets that are always nondeterministic.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``random.*`` members that are legitimate (classes & constants, not the
+#: module-level convenience functions bound to the hidden global RNG).
+RANDOM_ALLOWED = frozenset({"random.Random"})
+
+#: Modules whose entire surface is banned.
+BANNED_PREFIXES = ("secrets.",)
+
+
+@register
+class NondeterminismSources(Checker):
+    rule = "DET001"
+    description = (
+        "bans wall-clock reads, module-level random.*, os.urandom, "
+        "uuid.uuid4 and builtin hash() in simulation code"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Violation]:
+        origins = import_origins(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, origins)
+            if target is None:
+                continue
+            if target == "hash" and "hash" not in origins:
+                yield self.violation(
+                    context,
+                    node,
+                    "builtin hash() is PYTHONHASHSEED-dependent on str/bytes; "
+                    "use a keyed/stable hash (e.g. repro's address_checksum or "
+                    "struct-packed digests) instead",
+                )
+            elif target in BANNED_CALLS:
+                yield self.violation(
+                    context,
+                    node,
+                    "call to nondeterministic %s(); simulation code must use "
+                    "the virtual clock / seeded RNG streams" % target,
+                )
+            elif target.startswith(BANNED_PREFIXES):
+                yield self.violation(
+                    context,
+                    node,
+                    "call into %s — the secrets module is OS-entropy by design"
+                    % target,
+                )
+            elif target.startswith("random.") and target not in RANDOM_ALLOWED:
+                yield self.violation(
+                    context,
+                    node,
+                    "module-level %s() draws from the hidden global RNG; "
+                    "thread a seeded random.Random instance instead" % target,
+                )
+            elif target == "random.Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    context,
+                    node,
+                    "random.Random() without a seed self-seeds from the OS; "
+                    "pass an explicit seed",
+                )

@@ -1,0 +1,329 @@
+"""DET002: iteration over unordered sets in order-sensitive packages.
+
+``set``/``frozenset`` iteration order depends on insertion history and
+(for ``str`` elements) the per-process hash seed.  In the packages whose
+output feeds results or emission order — ``prober``, ``netsim``,
+``analysis`` — an unsorted set walk can change record order, dict key
+order, or tie-breaks between runs and between workers, which is exactly
+the class of bug that breaks the parallel runner's deterministic merge.
+
+The rule flags ``for``-loops, comprehension generators and ordering-
+sensitive calls (``list``/``tuple``/``enumerate``/``iter``/``.join``)
+whose iterable is *statically known* to be a set:
+
+* set literals / set comprehensions / ``set(...)`` / ``frozenset(...)``
+* set-operator results (``a | b``, ``a & b``, ``a - b``, ``a ^ b``)
+  and set-returning methods (``.union``, ``.difference``, ...)
+* local names every assignment of which is such an expression
+* ``self.X`` attributes annotated ``Set[...]`` anywhere in the class,
+  and ``@property`` / method returns annotated ``Set[...]``
+
+Not flagged (order cannot escape):
+
+* the iterable is wrapped in ``sorted(...)``
+* a comprehension consumed directly by an order-insensitive reducer
+  (``sorted``, ``sum``, ``len``, ``min``, ``max``, ``any``, ``all``,
+  ``set``, ``frozenset``)
+* a set comprehension over a set (unordered in, unordered out)
+* the line carries a ``# lint: ordered`` annotation — the author's
+  reviewed assertion that order is deterministic or cannot escape
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core import Checker, LintContext, Violation, register
+from .common import parent_map
+
+#: Packages (dotted-path segments) where emission/result order matters.
+ORDER_SENSITIVE_SEGMENTS = frozenset({"prober", "netsim", "analysis"})
+
+_SET_ANNOTATIONS = frozenset(
+    {"Set", "FrozenSet", "set", "frozenset", "AbstractSet", "MutableSet"}
+)
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Consumers whose result does not depend on iteration order.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_is_set(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+class _ClassInfo:
+    """Set-typed members of one class: annotated attributes plus
+    properties/methods with a ``Set[...]`` return annotation."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.set_attributes: Set[str] = set()
+        self.set_returning: Set[str] = set()
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                if _annotation_is_set(statement.annotation):
+                    self.set_attributes.add(statement.target.id)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _annotation_is_set(statement.returns):
+                    if _is_property(statement):
+                        self.set_attributes.add(statement.name)
+                    else:
+                        self.set_returning.add(statement.name)
+                for inner in ast.walk(statement):
+                    if (
+                        isinstance(inner, ast.AnnAssign)
+                        and isinstance(inner.target, ast.Attribute)
+                        and isinstance(inner.target.value, ast.Name)
+                        and inner.target.value.id == "self"
+                        and _annotation_is_set(inner.annotation)
+                    ):
+                        self.set_attributes.add(inner.target.attr)
+
+
+def _is_property(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Name) and decorator.id == "property":
+            return True
+    return False
+
+
+class _Scope:
+    """Name -> set-ness within one function (or the module body).
+
+    A name counts as a set only when *every* assignment to it in the
+    scope is a set expression; one non-set assignment poisons it."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+        self.poisoned: Set[str] = set()
+
+    def is_set(self, name: str) -> bool:
+        return name in self.set_names and name not in self.poisoned
+
+
+class SetIterationChecker(Checker):
+    rule = "DET002"
+    description = (
+        "flags iteration over sets in prober/netsim/analysis unless "
+        "sorted() or annotated '# lint: ordered'"
+    )
+
+    def interested(self, context: LintContext) -> bool:
+        segments = set(context.module.split("."))
+        return bool(segments & ORDER_SENSITIVE_SEGMENTS)
+
+    def check(self, context: LintContext) -> Iterable[Violation]:
+        parents = parent_map(context.tree)
+        classes: Dict[ast.AST, _ClassInfo] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node] = _ClassInfo(node)
+
+        def enclosing_class(node: ast.AST) -> Optional[_ClassInfo]:
+            current: Optional[ast.AST] = node
+            while current is not None:
+                if isinstance(current, ast.ClassDef):
+                    return classes[current]
+                current = parents.get(current)
+            return None
+
+        scopes = self._build_scopes(context.tree, parents, classes, enclosing_class)
+
+        def flag(node: ast.AST, what: str) -> Optional[Violation]:
+            line = getattr(node, "lineno", 1)
+            if context.suppressions.is_ordered(line):
+                return None
+            return self.violation(
+                context,
+                node,
+                "iteration over unordered %s; wrap in sorted(...) or annotate "
+                "'# lint: ordered' if order provably cannot escape" % what,
+            )
+
+        for node in ast.walk(context.tree):
+            scope = self._scope_of(node, parents, scopes)
+            info = enclosing_class(node)
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                what = self._set_description(node.iter, scope, info)
+                if what is not None:
+                    violation = flag(node, what)
+                    if violation:
+                        yield violation
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                if isinstance(node, ast.SetComp):
+                    continue  # unordered in, unordered out
+                if self._consumer_is_order_insensitive(node, parents):
+                    continue
+                for generator in node.generators:
+                    what = self._set_description(generator.iter, scope, info)
+                    if what is not None:
+                        violation = flag(generator.iter, what)
+                        if violation:
+                            yield violation
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                ordering_call = (
+                    isinstance(callee, ast.Name)
+                    and callee.id in ("list", "tuple", "enumerate", "iter")
+                ) or (isinstance(callee, ast.Attribute) and callee.attr == "join")
+                if ordering_call and node.args:
+                    what = self._set_description(node.args[0], scope, info)
+                    if what is not None:
+                        violation = flag(node, what)
+                        if violation:
+                            yield violation
+
+    # -- set-expression inference ---------------------------------------
+    def _set_description(
+        self, node: ast.AST, scope: _Scope, info: Optional[_ClassInfo]
+    ) -> Optional[str]:
+        """Human description when ``node`` is statically a set, else None."""
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+                return "%s(...) result" % callee.id
+            if isinstance(callee, ast.Attribute) and callee.attr in _SET_METHODS:
+                if self._set_description(callee.value, scope, info) is not None:
+                    return ".%s(...) result" % callee.attr
+            if (
+                isinstance(callee, ast.Attribute)
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id == "self"
+                and info is not None
+                and callee.attr in info.set_returning
+            ):
+                return "set returned by self.%s()" % callee.attr
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            if (
+                self._set_description(node.left, scope, info) is not None
+                or self._set_description(node.right, scope, info) is not None
+            ):
+                return "set-operator result"
+        if isinstance(node, ast.Name) and scope.is_set(node.id):
+            return "set %r" % node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and info is not None
+            and node.attr in info.set_attributes
+        ):
+            return "set attribute self.%s" % node.attr
+        return None
+
+    def _consumer_is_order_insensitive(
+        self, node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        parent = parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_CALLS
+            and node in parent.args
+        )
+
+    # -- scope bookkeeping ----------------------------------------------
+    def _build_scopes(
+        self,
+        tree: ast.Module,
+        parents: Dict[ast.AST, ast.AST],
+        classes: Dict[ast.AST, "_ClassInfo"],
+        enclosing_class,
+    ) -> Dict[ast.AST, _Scope]:
+        scopes: Dict[ast.AST, _Scope] = {tree: _Scope()}
+        assignments: List[tuple] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes[node] = _Scope()
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value, annotation = [node.target], node.value, node.annotation
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.op, _SET_OPS):
+                    continue  # |=, &= etc. preserve set-ness
+                targets, value = [node.target], node.value
+            else:
+                continue
+            scope_node = self._scope_node(node, parents)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    assignments.append(
+                        (scope_node, target.id, value, annotation, enclosing_class(node))
+                    )
+        # Fixpoint: set-ness can flow through chains (x = set(); y = x)
+        # whose assignments ast.walk may visit in any order.
+        changed = True
+        while changed:
+            changed = False
+            for scope_node, name, value, annotation, info in assignments:
+                scope = scopes[scope_node]
+                if scope.is_set(name) or name in scope.poisoned:
+                    continue
+                if _annotation_is_set(annotation) or (
+                    value is not None
+                    and self._set_description(value, scope, info) is not None
+                ):
+                    scope.set_names.add(name)
+                    changed = True
+        # Anything also assigned a non-set expression is poisoned.
+        for scope_node, name, value, annotation, info in assignments:
+            scope = scopes[scope_node]
+            is_set = _annotation_is_set(annotation) or (
+                value is not None
+                and self._set_description(value, scope, info) is not None
+            )
+            if not is_set and (value is not None or annotation is not None):
+                scope.poisoned.add(name)
+        return scopes
+
+    def _scope_node(self, node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> ast.AST:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                return current
+            current = parents.get(current)
+        return node
+
+    def _scope_of(
+        self,
+        node: ast.AST,
+        parents: Dict[ast.AST, ast.AST],
+        scopes: Dict[ast.AST, _Scope],
+    ) -> _Scope:
+        scope_node = self._scope_node(node, parents)
+        return scopes.get(scope_node, _Scope())
+
+
+register(SetIterationChecker)

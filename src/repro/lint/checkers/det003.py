@@ -1,0 +1,149 @@
+"""DET003: worker-boundary dataclasses must stay in the picklable set.
+
+``run_parallel`` ships a :class:`CampaignSpec` to every worker process.
+A field holding a live ``Internet``, an open file, a lambda, or any
+other unpicklable object is a *runtime* bomb that only detonates when a
+pool actually forks — and with the ``fork`` start method some of those
+objects silently pickle on Linux and explode only under ``spawn`` (the
+macOS/Windows default).  This rule checks the *declared field types* of
+every worker-boundary dataclass against an explicit picklable allowlist,
+so the boundary is enforced at lint time on every platform.
+
+A class is a worker boundary when its name is in
+:data:`BOUNDARY_CLASSES`, or when its ``class`` line carries a
+``# repro-lint: worker-boundary`` comment (the extension point for new
+spec types).  Every name appearing in a boundary field's annotation must
+be in :data:`PICKLABLE_TYPES`; containers are checked recursively
+(``Optional[Tuple[int, ...]]`` is fine, ``Optional[Internet]`` is not).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from ..core import Checker, LintContext, Violation, register
+
+#: Known worker-boundary dataclasses: the parallel runner's spec and the
+#: config dataclasses it carries (transitively pickled with it).
+BOUNDARY_CLASSES = frozenset(
+    {"CampaignSpec", "InternetConfig", "VantageConfig", "Yarrp6Config"}
+)
+
+#: The declared picklable set.  Scalars, bytes, the typing containers of
+#: those, and the repro config dataclasses that are themselves checked.
+PICKLABLE_TYPES = frozenset(
+    {
+        # scalars
+        "int", "float", "str", "bool", "bytes", "None",
+        # typing constructs (bare or typing.-qualified)
+        "Optional", "Union", "Tuple", "List", "Dict", "Sequence",
+        "Mapping", "FrozenSet", "Literal", "Final",
+        # builtin generics (PEP 585)
+        "tuple", "list", "dict", "frozenset",
+        # repro value types known picklable (numbers-only dataclasses,
+        # themselves boundary-checked)
+        "InternetConfig", "VantageConfig", "Yarrp6Config", "Prefix",
+    }
+)
+
+_BOUNDARY_MARK = re.compile(r"#\s*repro-lint:\s*worker-boundary\b")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _annotation_names(node: ast.AST) -> Iterator[ast.AST]:
+    """Leaf type references inside an annotation expression."""
+    if isinstance(node, ast.Name):
+        yield node
+    elif isinstance(node, ast.Attribute):
+        # typing.Optional -> judge by the final attribute
+        yield node
+    elif isinstance(node, ast.Subscript):
+        yield from _annotation_names(node.value)
+        yield from _annotation_names(node.slice)
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _annotation_names(element)
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        yield from _annotation_names(node.left)
+        yield from _annotation_names(node.right)
+    elif isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                yield node
+            else:
+                yield from _annotation_names(parsed)
+        # None / Ellipsis constants are structural, not type leaves.
+    elif isinstance(node, ast.Index):  # pragma: no cover - py<3.9 only
+        yield from _annotation_names(node.value)  # type: ignore[attr-defined]
+    else:
+        yield node
+
+
+def _leaf_label(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class WorkerBoundaryPickleSafety(Checker):
+    rule = "DET003"
+    description = (
+        "worker-boundary dataclass fields must use declared-picklable "
+        "types (the parallel runner pickles them across fork/spawn)"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            marked = _BOUNDARY_MARK.search(context.line_text(node.lineno))
+            if node.name not in BOUNDARY_CLASSES and not marked:
+                continue
+            if not _is_dataclass(node):
+                yield self.violation(
+                    context,
+                    node,
+                    "worker-boundary class %s must be a @dataclass so its "
+                    "field types are declared and checkable" % node.name,
+                )
+                continue
+            yield from self._check_fields(context, node)
+
+    def _check_fields(
+        self, context: LintContext, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if not isinstance(statement.target, ast.Name):
+                continue
+            bad: List[str] = []
+            for leaf in _annotation_names(statement.annotation):
+                label = _leaf_label(leaf)
+                if label is None or label not in PICKLABLE_TYPES:
+                    bad.append(label or ast.dump(leaf))
+            if bad:
+                yield self.violation(
+                    context,
+                    statement,
+                    "field %s.%s uses type(s) outside the picklable set: %s "
+                    "(workers receive this object by pickle)"
+                    % (node.name, statement.target.id, ", ".join(sorted(set(bad)))),
+                )

@@ -1,0 +1,264 @@
+"""PKT001: packet-layer byte-length and checksum-neutrality invariants.
+
+The Yarrp6 stateless design hangs on byte-exact packet contracts: a
+header class whose ``HEADER_LENGTH`` disagrees with the struct format
+its ``pack()`` emits corrupts every downstream offset, and the 12-byte
+probe payload (magic + instance + TTL + elapsed + fudge) is the decode
+contract for *every* response.  Those constants live far from the pack
+formats they must match; this rule pins them together.
+
+Checks, per module:
+
+* **header classes** — when a module defines ``HEADER_LENGTH`` and one
+  class with a ``pack()`` method whose return value is a concatenation
+  of ``struct.pack("<literal>", ...)`` calls and 16-byte
+  ``address.to_bytes(...)`` terms, the computed byte length must equal
+  ``HEADER_LENGTH``.
+* **the encoding module** (recognized by defining both
+  ``PAYLOAD_LENGTH`` and ``MAGIC``):
+
+  - ``PAYLOAD_LENGTH`` must equal the payload-builder's packed head plus
+    its ``fudge.to_bytes(n, ...)`` tail;
+  - some ``struct.unpack`` in the module must read exactly the packed
+    head back (pack/decode format drift);
+  - ``MAGIC`` must fit 4 bytes, ``DEST_PORT`` and ``TARGET_SUM`` 2 bytes
+    (``TARGET_SUM`` is the one's-complement constant every probe's
+    checksummed region is steered to — checksum neutrality needs it
+    representable in 16 bits);
+  - every ``checksum = ...`` assignment must be the complement pattern
+    ``(~X) & 0xFFFF`` — emitting anything else breaks the per-target
+    constant-checksum (Paris traceroute) property.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core import Checker, LintContext, Violation, register
+from .common import dotted_name, int_constant, str_constant
+
+ADDRESS_BYTES = 16  # an IPv6 address serialized by address.to_bytes
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    constants: Dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = int_constant(node.value)
+            if isinstance(target, ast.Name) and value is not None:
+                constants[target.id] = value
+    return constants
+
+
+def _calcsize(format_string: str) -> Optional[int]:
+    try:
+        return struct.calcsize(format_string)
+    except struct.error:
+        return None
+
+
+def _packed_size(node: ast.AST) -> Optional[int]:
+    """Byte length of an expression built from struct.pack literals,
+    ``address.to_bytes(...)`` terms and their concatenation; None when
+    any term's size is not statically known."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _packed_size(node.left)
+        right = _packed_size(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name == "struct.pack" and node.args:
+            format_string = str_constant(node.args[0])
+            if format_string is not None:
+                return _calcsize(format_string)
+            return None
+        if name == "address.to_bytes":
+            return ADDRESS_BYTES
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "to_bytes":
+            return int_constant(node.args[0]) if node.args else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+        return len(node.value)
+    return None
+
+
+def _struct_call_formats(tree: ast.AST, function: str) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "struct.%s" % function
+            and node.args
+        ):
+            yield node
+
+
+@register
+class PacketInvariants(Checker):
+    rule = "PKT001"
+    description = (
+        "packet byte-length constants must match their struct formats; "
+        "emitted checksums must be one's-complement neutral"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Violation]:
+        constants = _module_int_constants(context.tree)
+        if "HEADER_LENGTH" in constants:
+            yield from self._check_header_classes(context, constants["HEADER_LENGTH"])
+        if "PAYLOAD_LENGTH" in constants and "MAGIC" in constants:
+            yield from self._check_encoding_module(context, constants)
+
+    # -- header classes ---------------------------------------------------
+    def _check_header_classes(
+        self, context: LintContext, header_length: int
+    ) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for method in node.body:
+                if (
+                    isinstance(method, ast.FunctionDef)
+                    and method.name == "pack"
+                ):
+                    yield from self._check_pack(
+                        context, node.name, method, header_length
+                    )
+
+    def _check_pack(
+        self,
+        context: LintContext,
+        class_name: str,
+        method: ast.FunctionDef,
+        header_length: int,
+    ) -> Iterator[Violation]:
+        for statement in ast.walk(method):
+            if not isinstance(statement, ast.Return) or statement.value is None:
+                continue
+            size = _packed_size(statement.value)
+            if size is not None and size != header_length:
+                yield self.violation(
+                    context,
+                    statement,
+                    "%s.pack() emits %d bytes but HEADER_LENGTH is %d"
+                    % (class_name, size, header_length),
+                )
+
+    # -- the Yarrp6 encoding module ---------------------------------------
+    def _check_encoding_module(
+        self, context: LintContext, constants: Dict[str, int]
+    ) -> Iterator[Violation]:
+        payload_length = constants["PAYLOAD_LENGTH"]
+        head_size = self._payload_head_size(context.tree)
+        if head_size is not None:
+            head_format, head_bytes, fudge_bytes, pack_node = head_size
+            if head_bytes + fudge_bytes != payload_length:
+                yield self.violation(
+                    context,
+                    pack_node,
+                    "payload head %r (%d B) + fudge (%d B) != PAYLOAD_LENGTH "
+                    "(%d) — the 12-byte probe encoding contract is broken"
+                    % (head_format, head_bytes, fudge_bytes, payload_length),
+                )
+            elif not self._decode_reads_head(context.tree, head_bytes):
+                yield self.violation(
+                    context,
+                    pack_node,
+                    "no struct.unpack in this module reads the %d-byte packed "
+                    "head back — pack/decode format drift" % head_bytes,
+                )
+        for name, limit in (
+            ("MAGIC", 0xFFFFFFFF),
+            ("DEST_PORT", 0xFFFF),
+            ("TARGET_SUM", 0xFFFF),
+        ):
+            value = constants.get(name)
+            if value is not None and not 0 <= value <= limit:
+                yield from self._constant_violation(context, name, value, limit)
+        yield from self._check_checksum_neutrality(context)
+
+    def _constant_violation(
+        self, context: LintContext, name: str, value: int, limit: int
+    ) -> Iterator[Violation]:
+        for node in context.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+            ):
+                yield self.violation(
+                    context,
+                    node,
+                    "%s = %#x does not fit its %d-byte wire field"
+                    % (name, value, limit.bit_length() // 8),
+                )
+
+    def _payload_head_size(self, tree: ast.Module):
+        """(format, head bytes, fudge bytes, pack node) from the payload
+        builder: the function that both struct.packs a head and returns
+        ``head + <fudge>.to_bytes(n, ...)``."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            packs = list(_struct_call_formats(node, "pack"))
+            if len(packs) != 1:
+                continue
+            fudge_bytes = None
+            for statement in ast.walk(node):
+                if (
+                    isinstance(statement, ast.Call)
+                    and isinstance(statement.func, ast.Attribute)
+                    and statement.func.attr == "to_bytes"
+                    and statement.args
+                ):
+                    fudge_bytes = int_constant(statement.args[0])
+            if fudge_bytes is None:
+                continue
+            format_string = str_constant(packs[0].args[0])
+            if format_string is None:
+                continue
+            head_bytes = _calcsize(format_string)
+            if head_bytes is None:
+                continue
+            return format_string, head_bytes, fudge_bytes, packs[0]
+        return None
+
+    def _decode_reads_head(self, tree: ast.Module, head_bytes: int) -> bool:
+        for call in _struct_call_formats(tree, "unpack"):
+            format_string = str_constant(call.args[0])
+            if format_string is not None and _calcsize(format_string) == head_bytes:
+                return True
+        return False
+
+    def _check_checksum_neutrality(self, context: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id == "checksum"):
+                continue
+            if not self._is_complement_pattern(node.value):
+                yield self.violation(
+                    context,
+                    node,
+                    "checksum must be emitted as the one's complement "
+                    "'(~steered_sum) & 0xFFFF'; any other expression breaks "
+                    "per-target checksum constancy (Paris/ECMP neutrality)",
+                )
+
+    def _is_complement_pattern(self, node: ast.AST) -> bool:
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.BitAnd)
+            and int_constant(node.right) == 0xFFFF
+        ):
+            inner = node.left
+            while isinstance(inner, ast.BinOp) or (
+                isinstance(inner, ast.UnaryOp) and isinstance(inner.op, ast.Invert)
+            ):
+                if isinstance(inner, ast.UnaryOp):
+                    return True
+                inner = inner.left
+        return False

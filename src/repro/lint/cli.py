@@ -1,0 +1,113 @@
+"""``repro-lint`` — run the determinism & protocol-invariant checkers.
+
+Usage::
+
+    repro-lint src/                      # lint a tree, human output
+    repro-lint --format json src/ > v.json
+    repro-lint --select DET002,PKT001 src/repro/prober
+    repro-lint --list-checkers
+
+Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .core import Violation, all_checkers, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & protocol-invariant static analysis "
+        "for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def render_text(violations: Sequence[Violation], out: TextIO) -> None:
+    for violation in violations:
+        out.write(violation.format() + "\n")
+    out.write(
+        "%d violation%s found\n"
+        % (len(violations), "" if len(violations) == 1 else "s")
+    )
+
+
+def render_json(violations: Sequence[Violation], out: TextIO) -> None:
+    out.write(
+        json.dumps(
+            {
+                "violations": [violation.to_json() for violation in violations],
+                "count": len(violations),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    registry = all_checkers()
+    if args.list_checkers:
+        for rule in sorted(registry):
+            out.write("%s  %s\n" % (rule, registry[rule].description))
+        return 0
+    if not args.paths:
+        parser.print_usage(out)
+        return 2
+
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [piece.strip() for piece in args.select.split(",") if piece.strip()]
+        unknown = [rule for rule in select if rule not in registry]
+        if unknown:
+            out.write(
+                "unknown rule id(s): %s (try --list-checkers)\n"
+                % ", ".join(sorted(unknown))
+            )
+            return 2
+
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except OSError as error:
+        out.write("error: %s\n" % error)
+        return 2
+
+    if args.format == "json":
+        render_json(violations, out)
+    else:
+        render_text(violations, out)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,7 +161,7 @@ class Vantage:
 
     __slots__ = ("name", "asn", "address", "premise_chain")
 
-    def __init__(self, name: str, asn: int, address: int):
+    def __init__(self, name: str, asn: int, address: int) -> None:
         self.name = name
         self.asn = asn
         self.address = address
@@ -192,7 +192,7 @@ class BuiltInternet:
         "dist_index",
     )
 
-    def __init__(self, config: InternetConfig):
+    def __init__(self, config: InternetConfig) -> None:
         self.config = config
         self.truth = GroundTruth()
         self.vantages: Dict[str, Vantage] = {}
@@ -229,7 +229,7 @@ def _allocate_slots(rng: random.Random, span: int, count: int) -> List[int]:
 class _Builder:
     """Stateful construction helper; call :func:`build_internet` instead."""
 
-    def __init__(self, config: InternetConfig):
+    def __init__(self, config: InternetConfig) -> None:
         self.config = config
         self.rng = random.Random(config.seed)
         self.out = BuiltInternet(config)

@@ -21,7 +21,7 @@ US_PER_SECOND = 1_000_000
 class Engine:
     """A minimal run-to-completion event scheduler over virtual time."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._now = 0
         self._sequence = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []

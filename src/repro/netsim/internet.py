@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import random
 from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..addrs.prefix import Prefix
 from ..packet import fragment, icmpv6, ipv6, tcp, udp
@@ -27,7 +27,7 @@ from ..packet.icmpv6 import UnreachableCode
 from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, IPv6Header
 from .build import BuiltInternet, InternetConfig, Vantage, build_internet
 from .ecmp import flow_variant
-from .topology import Router, RouterRole, Subnet
+from .topology import Hop, Router, RouterRole, Subnet
 
 
 class TerminalKind(enum.Enum):
@@ -63,7 +63,7 @@ class CompiledPath:
         filter_action: str = "drop",
         blocked: Optional[frozenset] = None,
         mtu_profile: Optional[List[int]] = None,
-    ):
+    ) -> None:
         #: [(router, source interface address, one-way cumulative µs)].
         self.hops = hops
         self.terminal = terminal
@@ -101,7 +101,7 @@ class Response:
 
     __slots__ = ("delay_us", "data", "kind")
 
-    def __init__(self, delay_us: int, data: bytes, kind: str):
+    def __init__(self, delay_us: int, data: bytes, kind: str) -> None:
         self.delay_us = delay_us
         self.data = data
         #: "icmp6" for ICMPv6 packets, "tcp" for RST/SYN-ACK from hosts.
@@ -124,7 +124,7 @@ class InternetStats:
         "packet_too_big",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.probes = 0
         self.time_exceeded = 0
         self.echo_replies = 0
@@ -174,7 +174,7 @@ class Internet:
         """
         return cls(build_internet(config))
 
-    def __init__(self, built: Optional[BuiltInternet] = None, config: Optional[InternetConfig] = None):
+    def __init__(self, built: Optional[BuiltInternet] = None, config: Optional[InternetConfig] = None) -> None:
         if built is None:
             built = build_internet(config)
         self.built = built
@@ -351,7 +351,13 @@ class Internet:
             mtu_profile=mtus,
         )
 
-    def _push_transit(self, hops, push, asn: int, variant: int) -> None:
+    def _push_transit(
+        self,
+        hops: List[Hop],
+        push: Callable[[Router, int], None],
+        asn: int,
+        variant: int,
+    ) -> None:
         """Append a transit AS's ingress border and a core router."""
         borders = self.built.borders.get(asn, ())
         if borders:

@@ -22,7 +22,7 @@ class TokenBucket:
 
     __slots__ = ("rate", "burst", "_tokens", "_updated", "allowed", "denied")
 
-    def __init__(self, rate: float, burst: float):
+    def __init__(self, rate: float, burst: float) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive: %r" % rate)
         if burst < 1:
@@ -86,7 +86,7 @@ class UnlimitedBucket:
     rate = float("inf")
     burst = float("inf")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.allowed = 0
         self.denied = 0
 

@@ -71,7 +71,7 @@ class Router:
         limiter: TokenBucket,
         respond_protocols: Optional[Set[int]] = None,
         response_probability: float = 1.0,
-    ):
+    ) -> None:
         self.router_id = router_id
         self.asn = asn
         self.role = role
@@ -139,7 +139,7 @@ class Subnet:
         "aliased",
     )
 
-    def __init__(self, prefix: Prefix, gateway: Router, gateway_addr: int):
+    def __init__(self, prefix: Prefix, gateway: Router, gateway_addr: int) -> None:
         if prefix.length != 64:
             raise ValueError("leaf subnets are /64, got %s" % prefix)
         self.prefix = prefix
@@ -177,7 +177,7 @@ class SubnetPlan:
 
     __slots__ = ("asn", "distribution", "allocations", "leaves")
 
-    def __init__(self, asn: int):
+    def __init__(self, asn: int) -> None:
         self.asn = asn
         self.distribution: List[Prefix] = []
         self.allocations: List[Prefix] = []
@@ -193,7 +193,7 @@ class ASPolicy:
         self,
         blocked_protocols: Optional[Set[int]] = None,
         prohibit_action: str = "drop",
-    ):
+    ) -> None:
         self.blocked_protocols = blocked_protocols or set()
         #: "drop" (silent) or "admin" (ICMPv6 administratively prohibited).
         self.prohibit_action = prohibit_action
@@ -217,7 +217,7 @@ class AutonomousSystem:
         "link_mtu",
     )
 
-    def __init__(self, asn: int, name: str, tier: int, address_plan: AddressPlan):
+    def __init__(self, asn: int, name: str, tier: int, address_plan: AddressPlan) -> None:
         self.asn = asn
         self.name = name
         #: 1 = backbone, 2 = regional transit, 3 = edge/stub.
@@ -261,7 +261,7 @@ class GroundTruth:
         "equivalent_asns",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.ases: Dict[int, AutonomousSystem] = {}
         #: Advertised prefix -> origin ASN (the public BGP table).
         self.bgp: PrefixTrie = PrefixTrie()

@@ -31,7 +31,7 @@ class FragmentHeader:
 
     __slots__ = ("next_header", "offset", "more", "identification")
 
-    def __init__(self, next_header: int, identification: int, offset: int = 0, more: bool = False):
+    def __init__(self, next_header: int, identification: int, offset: int = 0, more: bool = False) -> None:
         if not 0 <= offset < (1 << 13):
             raise PacketError("fragment offset out of range: %r" % offset)
         self.next_header = next_header & 0xFF

@@ -82,7 +82,7 @@ class ICMPv6Message:
         word: int = 0,
         body: bytes = b"",
         checksum: int = 0,
-    ):
+    ) -> None:
         self.msg_type = msg_type & 0xFF
         self.code = code & 0xFF
         self.word = word & 0xFFFFFFFF

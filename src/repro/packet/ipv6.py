@@ -53,7 +53,7 @@ class IPv6Header:
         hop_limit: int = DEFAULT_HOP_LIMIT,
         traffic_class: int = 0,
         flow_label: int = 0,
-    ):
+    ) -> None:
         if not 0 <= payload_length <= 0xFFFF:
             raise PacketError("payload length out of range: %r" % payload_length)
         if not 0 <= hop_limit <= 0xFF:
@@ -112,7 +112,7 @@ class IPv6Header:
             flow_label=first_word & 0xFFFFF,
         )
 
-    def copy(self, **overrides) -> "IPv6Header":
+    def copy(self, **overrides: int) -> "IPv6Header":
         """A copy with the given fields replaced."""
         fields = {name: getattr(self, name) for name in self.__slots__}
         fields.update(overrides)
@@ -127,7 +127,7 @@ class IPv6Header:
             self.payload_length,
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, IPv6Header) and all(
             getattr(self, name) == getattr(other, name) for name in self.__slots__
         )

@@ -9,6 +9,7 @@ modeled; the data offset is fixed at 5 words.
 from __future__ import annotations
 
 import struct
+from typing import Tuple
 
 from .checksum import transport_checksum, verify_transport_checksum
 from .ipv6 import PacketError
@@ -48,7 +49,7 @@ class TCPHeader:
         window: int = 65535,
         checksum: int = 0,
         urgent: int = 0,
-    ):
+    ) -> None:
         for name, value in (("src_port", src_port), ("dst_port", dst_port)):
             if not 0 <= value <= 0xFFFF:
                 raise PacketError("%s out of range: %r" % (name, value))
@@ -132,7 +133,7 @@ def build_segment(src: int, dst: int, header: TCPHeader, payload: bytes = b"") -
     return segment[:16] + value.to_bytes(2, "big") + segment[18:]
 
 
-def split_segment(data: bytes):
+def split_segment(data: bytes) -> Tuple[TCPHeader, bytes]:
     """Parse a TCP segment into (header, payload bytes)."""
     header = TCPHeader.unpack(data)
     return header, data[HEADER_LENGTH:]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import struct
+from typing import Tuple
 
 from .checksum import transport_checksum, verify_transport_checksum
 from .ipv6 import PacketError
@@ -15,7 +16,7 @@ class UDPHeader:
 
     __slots__ = ("src_port", "dst_port", "length", "checksum")
 
-    def __init__(self, src_port: int, dst_port: int, length: int = 0, checksum: int = 0):
+    def __init__(self, src_port: int, dst_port: int, length: int = 0, checksum: int = 0) -> None:
         for name, value in (("src_port", src_port), ("dst_port", dst_port)):
             if not 0 <= value <= 0xFFFF:
                 raise PacketError("%s out of range: %r" % (name, value))
@@ -53,7 +54,7 @@ def build_datagram(
     return segment[:6] + value.to_bytes(2, "big") + segment[8:]
 
 
-def split_datagram(data: bytes):
+def split_datagram(data: bytes) -> Tuple[UDPHeader, bytes]:
     """Parse a UDP segment into (header, payload bytes)."""
     header = UDPHeader.unpack(data)
     return header, data[HEADER_LENGTH:]

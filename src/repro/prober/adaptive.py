@@ -46,7 +46,7 @@ class AdaptiveConfig:
 class RateController:
     """AIMD over windowed near-hop responsiveness."""
 
-    def __init__(self, config: AdaptiveConfig):
+    def __init__(self, config: AdaptiveConfig) -> None:
         self.config = config
         self.pps = config.initial_pps
         self.near_sent = 0
@@ -115,7 +115,7 @@ def run_adaptive_yarrp6(
         response = internet.probe(packet, engine.now)
         if response is not None:
             data = response.data
-            def deliver(data=data):
+            def deliver(data: bytes = data) -> None:
                 record = machine.receive(data, engine.now)
                 if record is not None and record.is_time_exceeded:
                     controller.on_response(record.ttl)

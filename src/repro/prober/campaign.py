@@ -10,7 +10,7 @@ simulated round-trip delay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..netsim.engine import Engine, pps_interval
 from ..netsim.internet import Internet
@@ -47,7 +47,16 @@ class CampaignResult:
         return len(self.interfaces) / self.sent if self.sent else 0.0
 
 
-def _make_prober(kind: str, source: int, targets: Sequence[int], config):
+#: Any prober's config object; campaigns dispatch on the prober kind, so
+#: the pairing of kind and config type is checked at runtime.
+ProberConfig = Union[Yarrp6Config, SequentialConfig, DoubletreeConfig]
+
+Prober = Union[Yarrp6, SequentialProber, DoubletreeProber]
+
+
+def _make_prober(
+    kind: str, source: int, targets: Sequence[int], config: Any
+) -> Prober:
     if kind == "yarrp6":
         return Yarrp6(source, targets, config)
     if kind == "sequential":
@@ -63,7 +72,7 @@ def run_campaign(
     targets: Sequence[int],
     prober: str = "yarrp6",
     pps: float = 1000.0,
-    config=None,
+    config: Optional[ProberConfig] = None,
     name: Optional[str] = None,
     engine: Optional[Engine] = None,
     reset: bool = True,
@@ -138,9 +147,9 @@ def run_yarrp6(
     vantage_name: str,
     targets: Sequence[int],
     pps: float = 1000.0,
-    config=None,
+    config: Optional[Yarrp6Config] = None,
     name: Optional[str] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Yarrp6 campaign with config keywords."""
     if config is None and config_kwargs:
@@ -155,9 +164,9 @@ def run_sequential(
     vantage_name: str,
     targets: Sequence[int],
     pps: float = 1000.0,
-    config=None,
+    config: Optional[SequentialConfig] = None,
     name: Optional[str] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: sequential (scamper-like) campaign."""
     if config is None and config_kwargs:
@@ -172,9 +181,9 @@ def run_doubletree(
     vantage_name: str,
     targets: Sequence[int],
     pps: float = 1000.0,
-    config=None,
+    config: Optional[DoubletreeConfig] = None,
     name: Optional[str] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Doubletree campaign."""
     if config is None and config_kwargs:

@@ -18,7 +18,7 @@ reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .encoding import encode_probe
 from .records import ProbeRecord, ResponseProcessor
@@ -39,7 +39,7 @@ class DoubletreeConfig:
 class _DTState:
     __slots__ = ("target", "forward_alive", "forward_gap", "backward_alive", "terminal")
 
-    def __init__(self, target: int):
+    def __init__(self, target: int) -> None:
         self.target = target
         self.forward_alive = True
         self.forward_gap = 0
@@ -55,7 +55,7 @@ class DoubletreeProber:
         source: int,
         targets: Sequence[int],
         config: Optional[DoubletreeConfig] = None,
-    ):
+    ) -> None:
         self.source = source
         self.targets = list(targets)
         self.config = config or DoubletreeConfig()
@@ -72,7 +72,7 @@ class DoubletreeProber:
         self._traces: Dict[int, _DTState] = {}
         self._emitter = self._emission_order()
 
-    def _emission_order(self):
+    def _emission_order(self) -> Iterator[Tuple[int, int]]:
         config = self.config
         for start in range(0, len(self.targets), config.window):
             block = [

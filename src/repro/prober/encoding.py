@@ -70,7 +70,7 @@ class DecodedProbe:
         instance: int,
         protocol: int,
         target_modified: bool,
-    ):
+    ) -> None:
         self.target = target
         self.ttl = ttl
         self.elapsed = elapsed

@@ -40,7 +40,7 @@ class MDAConfig:
 class MDAResult:
     """Per-hop interface sets discovered across flows."""
 
-    def __init__(self, targets: Sequence[int], config: MDAConfig):
+    def __init__(self, targets: Sequence[int], config: MDAConfig) -> None:
         self.targets = list(targets)
         self.config = config
         #: (target, ttl) -> set of responding interface addresses.
@@ -95,7 +95,7 @@ def run_mda(
     for flow_id in range(config.flows):
         for target in targets:
             for ttl in range(1, config.max_ttl + 1):
-                def send(target=target, ttl=ttl, flow_id=flow_id) -> None:
+                def send(target: int = target, ttl: int = ttl, flow_id: int = flow_id) -> None:
                     packet = encode_probe(
                         vantage.address,
                         target,

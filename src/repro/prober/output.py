@@ -85,7 +85,7 @@ class LoadedCampaign:
 
     __slots__ = ("metadata", "records", "skipped_rows")
 
-    def __init__(self, metadata: Dict[str, str], records: List[ProbeRecord], skipped_rows: int):
+    def __init__(self, metadata: Dict[str, str], records: List[ProbeRecord], skipped_rows: int) -> None:
         self.metadata = metadata
         self.records = records
         self.skipped_rows = skipped_rows

@@ -48,10 +48,11 @@ yarrp processes.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import traceback
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..netsim.build import InternetConfig
 from ..netsim.engine import pps_interval
@@ -151,7 +152,11 @@ def run_single(spec: CampaignSpec) -> CampaignResult:
     )
 
 
-def _shard_worker(payload):
+#: ("ok", shard, result) or ("error", shard, traceback text).
+ShardOutcome = Tuple[str, int, Union[CampaignResult, str]]
+
+
+def _shard_worker(payload: Tuple[CampaignSpec, int, int]) -> ShardOutcome:
     """Pool entry point: never raises, so a failure is a value the parent
     turns into one clean :class:`ShardFailure` instead of a pool hang."""
     spec, shard, shards = payload
@@ -161,7 +166,9 @@ def _shard_worker(payload):
         return ("error", shard, traceback.format_exc())
 
 
-def _make_pool(processes: int, start_method: Optional[str]):
+def _make_pool(
+    processes: int, start_method: Optional[str]
+) -> multiprocessing.pool.Pool:
     """Build the worker pool (separate hook so tests can assert that
     validation failures never reach it)."""
     if start_method is None:
@@ -211,9 +218,9 @@ def run_parallel(
     )
 
 
-def _place(outcome, results) -> None:
+def _place(outcome: ShardOutcome, results: List[Optional[CampaignResult]]) -> None:
     status, shard, value = outcome
-    if status != "ok":
+    if status != "ok" or not isinstance(value, CampaignResult):
         raise ShardFailure(
             "shard %d worker failed:\n%s" % (shard, value)
         )

@@ -30,7 +30,7 @@ class KeyedPermutation:
     dependent pseudorandom order.
     """
 
-    def __init__(self, n: int, key: int):
+    def __init__(self, n: int, key: int) -> None:
         if n < 1:
             raise ValueError("domain must be positive: %r" % n)
         self.n = n
@@ -159,7 +159,7 @@ class ProbeSchedule:
         key: int,
         shard: int = 0,
         shards: int = 1,
-    ):
+    ) -> None:
         if not 1 <= ttl_min <= ttl_max <= 255:
             raise ValueError("bad TTL range [%d, %d]" % (ttl_min, ttl_max))
         if n_targets < 1:

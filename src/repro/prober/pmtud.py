@@ -38,7 +38,7 @@ class PMTUDResult:
 
     __slots__ = ("path_mtu", "bottleneck_hop", "rounds", "confirmed")
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: Largest size known to traverse the path (None: nothing did).
         self.path_mtu: Optional[int] = None
         #: Source address of the last Packet Too Big, if any.
@@ -90,7 +90,7 @@ def discover_pmtu(
                 return
             data = response.data
 
-            def deliver(target=target, data=data) -> None:
+            def deliver(target: int = target, data: bytes = data) -> None:
                 try:
                     header, payload = ipv6.split_packet(data)
                     message = icmpv6.ICMPv6Message.unpack(payload)

@@ -44,7 +44,7 @@ class ProbeRecord:
         rtt_us: int,
         received_at: int,
         target_modified: bool = False,
-    ):
+    ) -> None:
         self.target = target
         #: Originating hop limit of the probe (the hop index answered).
         self.ttl = ttl
@@ -75,7 +75,7 @@ class ProbeRecord:
 class ResponseProcessor:
     """Decodes response packets into records and aggregates statistics."""
 
-    def __init__(self, instance: Optional[int] = None):
+    def __init__(self, instance: Optional[int] = None) -> None:
         self.instance = instance
         self.records: List[ProbeRecord] = []
         #: Unique response source addresses from ICMPv6 *Time Exceeded*

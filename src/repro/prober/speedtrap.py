@@ -48,7 +48,7 @@ class IdSample:
 
     __slots__ = ("address", "time_us", "identification", "round_index")
 
-    def __init__(self, address: int, time_us: int, identification: int, round_index: int):
+    def __init__(self, address: int, time_us: int, identification: int, round_index: int) -> None:
         self.address = address
         self.time_us = time_us
         self.identification = identification
@@ -65,7 +65,7 @@ class IdSample:
 class Speedtrap:
     """The sampling state machine (drive it with :func:`run_speedtrap`)."""
 
-    def __init__(self, source: int, candidates: Sequence[int], config: Optional[SpeedtrapConfig] = None):
+    def __init__(self, source: int, candidates: Sequence[int], config: Optional[SpeedtrapConfig] = None) -> None:
         self.source = source
         self.candidates = sorted(set(candidates))
         self.config = config or SpeedtrapConfig()

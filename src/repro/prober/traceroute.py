@@ -21,7 +21,7 @@ in-flight responses get counted).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .encoding import encode_probe
 from .records import ProbeRecord, ResponseProcessor
@@ -43,7 +43,7 @@ class SequentialConfig:
 class _TraceState:
     __slots__ = ("target", "alive", "responded_ttls", "terminal")
 
-    def __init__(self, target: int):
+    def __init__(self, target: int) -> None:
         self.target = target
         self.alive = True
         self.responded_ttls: Set[int] = set()
@@ -58,7 +58,7 @@ class SequentialProber:
         source: int,
         targets: Sequence[int],
         config: Optional[SequentialConfig] = None,
-    ):
+    ) -> None:
         self.source = source
         self.targets = list(targets)
         self.config = config or SequentialConfig()
@@ -69,7 +69,7 @@ class SequentialProber:
         self._traces: Dict[int, _TraceState] = {}
         self._emitter = self._emission_order()
 
-    def _emission_order(self):
+    def _emission_order(self) -> Iterator[Tuple[int, int]]:
         """Generate (target, ttl) in windowed per-TTL waves."""
         config = self.config
         for start in range(0, len(self.targets), config.window):

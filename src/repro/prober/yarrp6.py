@@ -54,7 +54,7 @@ class Yarrp6Config:
 class Yarrp6:
     """The prober: hand it targets, pull packets, feed it responses."""
 
-    def __init__(self, source: int, targets: Sequence[int], config: Optional[Yarrp6Config] = None):
+    def __init__(self, source: int, targets: Sequence[int], config: Optional[Yarrp6Config] = None) -> None:
         self.source = source
         self.targets = list(targets)
         self.config = config or Yarrp6Config()

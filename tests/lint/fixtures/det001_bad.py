@@ -1,0 +1,50 @@
+"""DET001 fixture: every banned nondeterminism source, with line markers
+the tests assert against."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from time import time as wall_clock
+
+
+def stamp():
+    return time.time()  # L13: wall clock
+
+
+def stamp_aliased():
+    return wall_clock()  # L17: from-import alias
+
+
+def when():
+    return datetime.now()  # L21: datetime
+
+
+def roll():
+    return random.randint(0, 10)  # L25: module-level random
+
+
+def unseeded():
+    return random.Random()  # L29: self-seeding Random
+
+
+def entropy():
+    return os.urandom(8)  # L33: OS entropy
+
+
+def token():
+    return uuid.uuid4()  # L37: uuid4
+
+
+def bucket(name):
+    return hash(name) % 16  # L41: PYTHONHASHSEED-dependent
+
+
+def seeded_ok(seed):
+    rng = random.Random(seed)  # allowed: explicit seed
+    return rng.randint(0, 10)  # allowed: instance method
+
+
+def suppressed():
+    return time.time()  # repro-lint: disable=DET001

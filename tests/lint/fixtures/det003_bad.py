@@ -1,0 +1,33 @@
+"""DET003 fixture: worker-boundary dataclasses with unpicklable fields."""
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+
+class Internet:
+    pass
+
+
+@dataclass(frozen=True)
+class CampaignSpec:  # known boundary class by name
+    targets: Tuple[int, ...]
+    pps: float = 1000.0
+    internet: Optional[Internet] = None  # L15: live object in a spec
+    on_done: Optional[Callable[[], None]] = None  # L16: callable
+
+
+@dataclass
+class ShardPlan:  # repro-lint: worker-boundary
+    shard: int
+    handle: "Internet" = None  # L22: forward-ref to unpicklable
+
+
+class LoosePlan:  # repro-lint: worker-boundary
+    """Not a dataclass at all."""  # L26 region: flagged as a whole
+
+
+@dataclass
+class CleanSpec:  # repro-lint: worker-boundary
+    name: str
+    shards: Tuple[int, ...] = ()
+    ratio: float = 1.0

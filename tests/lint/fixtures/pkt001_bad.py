@@ -1,0 +1,35 @@
+"""PKT001 fixture: broken packet byte-length & checksum invariants."""
+
+import struct
+
+HEADER_LENGTH = 8  # wrong: pack() below emits 12 bytes
+
+PAYLOAD_LENGTH = 12  # wrong: head (4) + fudge (2) is 6
+MAGIC = 0x1_0000_0000  # wrong: does not fit 4 bytes
+DEST_PORT = 80
+TARGET_SUM = 0x1BEEF  # wrong: does not fit 16 bits
+
+
+class BadHeader:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def pack(self):
+        return struct.pack("!HH", self.a, self.b) + struct.pack(
+            "!II", 0, 0
+        )  # 12 bytes != HEADER_LENGTH
+
+
+def payload(sum_value, fudge):
+    head = struct.pack("!HH", 0, sum_value)
+    return head + fudge.to_bytes(2, "big")
+
+
+def emit(desired_sum):
+    checksum = desired_sum & 0xFFFF  # not the complement pattern
+    return checksum
+
+
+def decode(data):
+    return struct.unpack("!HH", data[:4])

@@ -1,0 +1,61 @@
+"""DET002 fixture: set iteration in an order-sensitive package path
+(this file's synthetic module path is repro.prober.det002_bad)."""
+
+from typing import Set
+
+
+class Tracker:
+    def __init__(self):
+        self.seen: Set[int] = set()
+
+    @property
+    def pending(self) -> Set[int]:
+        return {item for item in self.seen if item > 0}
+
+    def walk_attribute(self):
+        return [item * 2 for item in self.seen]  # L16: annotated attribute
+
+    def walk_property(self):
+        for item in self.pending:  # L19: Set-returning property
+            yield item
+
+    def walk_sorted(self):
+        return [item for item in sorted(self.seen)]  # ok: sorted
+
+    def walk_annotated(self):
+        total = 0
+        for item in self.seen:  # lint: ordered
+            total += item
+        return total
+
+
+def literal_walk():
+    for item in {3, 1, 2}:  # L33: set literal
+        print(item)
+
+
+def call_walk(values):
+    return list(set(values))  # L38: list(set(...))
+
+
+def operator_walk(a, b):
+    seen = set(a)
+    extra = seen | set(b)
+    for item in extra:  # L44: set-operator result via local name
+        print(item)
+
+
+def reducer_ok(values):
+    return sum(v for v in set(values))  # ok: order-insensitive reducer
+
+
+def setcomp_ok(values):
+    return {v * 2 for v in set(values)}  # ok: unordered in, unordered out
+
+
+def poisoned_ok(flag, values):
+    items = set(values)
+    if flag:
+        items = sorted(items)
+    for item in items:  # ok: name also bound to a list
+        print(item)

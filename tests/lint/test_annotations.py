@@ -1,0 +1,84 @@
+"""Annotation-coverage gate for the strictly-typed packages.
+
+CI runs mypy with ``disallow_untyped_defs`` over ``repro.prober``,
+``repro.netsim`` and ``repro.packet`` (see ``[tool.mypy]`` in
+pyproject.toml).  mypy is not available in every development container,
+so this test enforces the cheap structural half of that contract
+locally: every function and method in those packages must annotate all
+of its parameters and its return type.  A signature this test rejects
+would fail CI's mypy job; keeping the gate in the tier-1 suite means
+the failure surfaces before push.
+"""
+
+import ast
+import os
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+
+#: Packages under the strict-typing contract.
+STRICT_PACKAGES = ("prober", "netsim", "packet")
+
+#: Implicit first parameters that need no annotation.
+IMPLICIT_FIRST = {"self", "cls"}
+
+
+def strict_files():
+    for package in STRICT_PACKAGES:
+        root = os.path.join(SRC, package)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def unannotated_signatures(path):
+    """(lineno, qualname, missing-parts) for each incomplete signature."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = list(getattr(args, "posonlyargs", [])) + args.args
+        missing = []
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in IMPLICIT_FIRST:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return type")
+        if missing:
+            problems.append((node.lineno, node.name, missing))
+    return problems
+
+
+@pytest.mark.parametrize("path", sorted(strict_files()))
+def test_fully_annotated(path):
+    problems = unannotated_signatures(path)
+    assert not problems, "\n".join(
+        "%s:%d: %s missing annotations: %s"
+        % (os.path.relpath(path, SRC), lineno, name, ", ".join(missing))
+        for lineno, name, missing in problems
+    )
+
+
+def test_strict_packages_exist():
+    # Guard against the walk silently matching nothing (e.g. a rename).
+    paths = list(strict_files())
+    assert len(paths) >= 15
+
+
+def test_py_typed_marker_present():
+    assert os.path.exists(os.path.join(SRC, "py.typed"))

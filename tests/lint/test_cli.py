@@ -1,0 +1,74 @@
+"""CLI behaviour: exit codes, output formats, and the acceptance gate
+that the real source tree lints clean."""
+
+import io
+import json
+import os
+
+from repro.lint.cli import main
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures")
+SRC = os.path.normpath(os.path.join(HERE, "..", "..", "src"))
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_clean_tree_exits_zero():
+    code, output = run([os.path.join(SRC, "repro")])
+    assert code == 0, output
+    assert "0 violations found" in output
+
+
+def test_violations_exit_one_with_locations():
+    path = os.path.join(FIXTURES, "pkt001_bad.py")
+    code, output = run([path])
+    assert code == 1
+    assert "PKT001" in output
+    # text format is path:line:col: RULE message
+    assert "%s:8:1: PKT001" % path in output
+
+
+def test_json_format_is_machine_readable():
+    code, output = run(["--format", "json", os.path.join(FIXTURES, "det003_bad.py")])
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["count"] == len(payload["violations"]) > 0
+    first = payload["violations"][0]
+    assert set(first) == {"rule", "path", "line", "column", "message"}
+
+
+def test_select_runs_only_named_rules():
+    code, output = run(
+        ["--select", "DET001", os.path.join(FIXTURES, "pkt001_bad.py")]
+    )
+    assert code == 0
+    assert "0 violations found" in output
+
+
+def test_unknown_select_is_usage_error():
+    code, output = run(["--select", "NOPE42", FIXTURES])
+    assert code == 2
+    assert "NOPE42" in output
+
+
+def test_no_paths_is_usage_error():
+    code, _ = run([])
+    assert code == 2
+
+
+def test_list_checkers_names_every_rule():
+    code, output = run(["--list-checkers"])
+    assert code == 0
+    for rule in ("DET001", "DET002", "DET003", "PKT001"):
+        assert rule in output
+
+
+def test_missing_path_is_io_error():
+    code, output = run([os.path.join(FIXTURES, "does_not_exist.py")])
+    assert code == 2
+    assert "error" in output
