@@ -1,0 +1,33 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+Benchmarks have always written human-oriented tables to
+``benchmarks/results/*.txt``; this helper writes a JSON twin per
+benchmark — headline numbers plus the runs' full metric dumps — so CI
+can upload them as artifacts and successive runs can be diffed
+longitudinally.  Wall-clock figures in a payload must come from
+:mod:`repro.obs.wallclock` (the one allowlisted host-time boundary) and
+sit beside, never inside, the deterministic telemetry sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/results``.
+
+    The payload is serialized canonically (sorted keys, stable
+    separators) so deterministic sections diff cleanly between runs.
+    Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    with open(path, "w") as sink:
+        json.dump(payload, sink, sort_keys=True, separators=(",", ": "), indent=1)
+        sink.write("\n")
+    return path

@@ -14,11 +14,18 @@ import random
 from repro.analysis import per_hop_responsiveness, render_table
 from repro.hitlist import zn, fixediid
 from repro.netsim import Internet
+from repro.obs import MetricsRegistry, series_points
 from repro.prober import run_sequential, run_yarrp6
+
+from .emit import emit_json
 
 RATES = (20.0, 1000.0, 2000.0)
 VANTAGES = ("US-EDU-1", "US-EDU-2")
 MAX_TTL = 16
+
+
+def series_total(dump, name):
+    return sum(value for _, value in series_points(dump, name))
 
 
 def fig5_targets(world, seeds):
@@ -37,18 +44,27 @@ def fig5_targets(world, seeds):
 def run_all(world, seeds):
     targets = fig5_targets(world, seeds)
     series = {}
+    telemetry = {}
     for vantage in VANTAGES:
         for rate in RATES:
             internet = Internet(world)
-            yarrp = run_yarrp6(internet, vantage, targets, pps=rate, max_ttl=MAX_TTL)
-            seq = run_sequential(internet, vantage, targets, pps=rate, max_ttl=MAX_TTL)
+            yarrp = run_yarrp6(
+                internet, vantage, targets, pps=rate, max_ttl=MAX_TTL,
+                metrics=MetricsRegistry(),
+            )
+            seq = run_sequential(
+                internet, vantage, targets, pps=rate, max_ttl=MAX_TTL,
+                metrics=MetricsRegistry(),
+            )
             series[(vantage, "yarrp", rate)] = per_hop_responsiveness(yarrp, MAX_TTL)
             series[(vantage, "sequential", rate)] = per_hop_responsiveness(seq, MAX_TTL)
-    return targets, series
+            telemetry[(vantage, "yarrp", rate)] = yarrp.metrics
+            telemetry[(vantage, "sequential", rate)] = seq.metrics
+    return targets, series, telemetry
 
 
 def test_fig5(world, seeds, save_result, benchmark):
-    targets, series = benchmark.pedantic(
+    targets, series, telemetry = benchmark.pedantic(
         run_all, args=(world, seeds), rounds=1, iterations=1
     )
     for vantage in VANTAGES:
@@ -92,3 +108,47 @@ def test_fig5(world, seeds, save_result, benchmark):
     # US-EDU-2's aggressive hop 5 dips even for Yarrp6 at speed.
     eddy = dict(series[("US-EDU-2", "yarrp", 2000.0)])
     assert eddy[5] < 0.5 < eddy[6]
+
+    # The telemetry tells the same rate-limiting story from the router
+    # side: sequential probing at speed trips far more token-bucket
+    # denials than the trickle run, and the prober's sent counter agrees
+    # with the campaign's virtual-time series.
+    for vantage in VANTAGES:
+        for strategy in ("yarrp", "sequential"):
+            for rate in RATES:
+                dump = telemetry[(vantage, strategy, rate)]
+                assert dump["prober.sent"]["value"] == series_total(
+                    dump, "campaign.sent"
+                )
+        slow = telemetry[(vantage, "sequential", 20.0)]
+        fast = telemetry[(vantage, "sequential", 2000.0)]
+        assert series_total(fast, "ratelimit.denied") > series_total(
+            slow, "ratelimit.denied"
+        )
+
+    emit_json(
+        "fig5_rate_limiting",
+        {
+            "benchmark": "fig5_rate_limiting",
+            "targets": len(targets),
+            "max_ttl": MAX_TTL,
+            "campaigns": {
+                "%s/%s@%g" % (vantage, strategy, rate): {
+                    "hop1_responsiveness": dict(
+                        series[(vantage, strategy, rate)]
+                    )[1],
+                    "sent": telemetry[(vantage, strategy, rate)][
+                        "prober.sent"
+                    ]["value"],
+                    "ratelimit_denied": series_total(
+                        telemetry[(vantage, strategy, rate)],
+                        "ratelimit.denied",
+                    ),
+                    "metrics": telemetry[(vantage, strategy, rate)],
+                }
+                for vantage in VANTAGES
+                for strategy in ("yarrp", "sequential")
+                for rate in RATES
+            },
+        },
+    )

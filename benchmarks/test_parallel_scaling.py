@@ -16,10 +16,12 @@ imports, forks, runs and merges.
 """
 
 import os
-import time
 
 from repro.netsim import InternetConfig, build_internet, decoupled_dynamics
+from repro.obs import Stopwatch, dump_to_json
 from repro.prober import CampaignSpec, run_parallel, run_single
+
+from .emit import emit_json
 
 SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
@@ -46,17 +48,20 @@ def test_parallel_scaling(save_result):
     targets = tuple(
         subnet.prefix.base | 1 for subnet in built.truth.subnets.values()
     )[:N_TARGETS]
-    spec = CampaignSpec(internet=WORLD, vantage="EU-NET", targets=targets, pps=PPS)
+    spec = CampaignSpec(
+        internet=WORLD, vantage="EU-NET", targets=targets, pps=PPS, metrics=True
+    )
 
     reference = run_single(spec)
 
     cores = os.cpu_count() or 1
     rows = []
     wall = {}
+    dumps = {}
     for shards in SHARD_COUNTS:
-        start = time.perf_counter()
+        watch = Stopwatch()
         merged = run_parallel(spec, shards=shards, processes=shards)
-        wall[shards] = time.perf_counter() - start
+        wall[shards] = watch.elapsed_seconds()
 
         assert merged.sent == reference.sent
         assert [record_key(r) for r in merged.records] == [
@@ -64,6 +69,7 @@ def test_parallel_scaling(save_result):
         ]
         assert merged.interfaces == reference.interfaces
         assert merged.curve == reference.curve
+        dumps[shards] = merged.metrics
         rows.append(
             "%d worker%s  %7.2fs   speedup %.2fx"
             % (
@@ -73,6 +79,12 @@ def test_parallel_scaling(save_result):
                 wall[1] / wall[shards],
             )
         )
+
+    # The merged telemetry is part of the determinism contract: every
+    # shard count dumps byte-identical metrics.
+    baseline = dump_to_json(dumps[SHARD_COUNTS[0]])
+    for shards in SHARD_COUNTS[1:]:
+        assert dump_to_json(dumps[shards]) == baseline
 
     save_result(
         "parallel_scaling",
@@ -87,6 +99,24 @@ def test_parallel_scaling(save_result):
             " (smoke: timing assertions skipped)" if SMOKE else "",
             "\n".join(rows),
         ),
+    )
+    emit_json(
+        "parallel_scaling",
+        {
+            "benchmark": "parallel_scaling",
+            "smoke": SMOKE,
+            "targets": len(targets),
+            "pps": PPS,
+            "host_cores": cores,
+            "sent": reference.sent,
+            "interfaces": len(reference.interfaces),
+            "wall_seconds": {str(shards): wall[shards] for shards in SHARD_COUNTS},
+            "speedup": {
+                str(shards): wall[SHARD_COUNTS[0]] / wall[shards]
+                for shards in SHARD_COUNTS
+            },
+            "metrics": dumps[SHARD_COUNTS[-1]],
+        },
     )
 
     if not SMOKE and cores >= 4:

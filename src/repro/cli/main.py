@@ -16,6 +16,7 @@ Seed and target files hold one address or ``addr/len`` prefix per line
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional, Sequence, TextIO
 
@@ -36,6 +37,14 @@ from ..analysis import (
 from ..hitlist import make_targets
 from ..hitlist.transform import SeedItem
 from ..netsim import Internet, InternetConfig, build_internet
+from ..obs import (
+    ManifestError,
+    MetricsRegistry,
+    Stopwatch,
+    build_manifest,
+    read_manifest,
+    write_manifest,
+)
 from ..prober import (
     CampaignSpec,
     Yarrp6Config,
@@ -146,27 +155,35 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
         out.write("no targets in %s\n" % args.targets)
         return 2
     workers = getattr(args, "workers", 1)
+    metrics_path = getattr(args, "metrics", None)
+    # The stopwatch is the run's only wall-clock read (top-level boundary,
+    # reporting only — see repro.obs.wallclock); it never touches the sim.
+    stopwatch = Stopwatch() if metrics_path else None
+    with open(args.world) as source:
+        world_config = load_config(source)
     if workers > 1:
         if args.prober != "yarrp6":
             out.write("--workers requires the yarrp6 prober (stateless shards)\n")
             return 2
-        with open(args.world) as source:
-            world_config = load_config(source)
         spec = CampaignSpec(
             internet=world_config,
             vantage=args.vantage,
             targets=tuple(targets),
             pps=args.pps,
             config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
+            metrics=metrics_path is not None,
         )
         result = run_parallel(spec, shards=workers)
     else:
-        internet = Internet(_load_world(args.world))
+        internet = Internet.from_config(world_config)
         runner = _PROBERS[args.prober]
         kwargs = {}
         if args.prober == "yarrp6":
             kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
-        result = runner(internet, args.vantage, targets, pps=args.pps, **kwargs)
+        registry = MetricsRegistry() if metrics_path else None
+        result = runner(
+            internet, args.vantage, targets, pps=args.pps, metrics=registry, **kwargs
+        )
     rows = save_campaign(args.out, result)
     out.write(
         "%s from %s: %d probes, %d responses, %d interfaces; %d rows -> %s\n"
@@ -180,6 +197,61 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             args.out,
         )
     )
+    if metrics_path:
+        manifest = build_manifest(
+            result,
+            seed=world_config.seed,
+            metrics=result.metrics,
+            world=dataclasses.asdict(world_config),
+            records_file=args.out,
+            workers=workers,
+            wall_seconds=stopwatch.elapsed_seconds() if stopwatch else None,
+        )
+        write_manifest(metrics_path, manifest)
+        out.write("manifest -> %s\n" % metrics_path)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
+    try:
+        manifest = read_manifest(args.manifest)
+    except (OSError, ManifestError) as error:
+        out.write("%s\n" % error)
+        return 2
+    run = manifest.get("run", {})
+    run_rows = [[key, run[key]] for key in sorted(run)]
+    run_rows.append(["seed", manifest.get("seed")])
+    if "wallclock" in manifest:
+        run_rows.append(["wall seconds", "%.3f" % manifest["wallclock"]["seconds"]])
+    out.write(render_table(["field", "value"], run_rows, title="run") + "\n")
+
+    metrics = manifest.get("metrics") or {}
+    scalar_rows = []
+    series_rows = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry.get("kind")
+        if kind == "counter":
+            scalar_rows.append([name, entry["value"]])
+        elif kind == "counter_map":
+            total = sum(value for _, value in entry["values"])
+            scalar_rows.append([name, "%s over %d keys" % (total, len(entry["values"]))])
+        elif kind == "gauge":
+            scalar_rows.append(
+                [name, "last=%s min=%s max=%s" % (entry["last"], entry["min"], entry["max"])]
+            )
+        elif kind == "histogram":
+            scalar_rows.append([name, "%d samples" % sum(entry["counts"])])
+        elif kind == "series":
+            total = sum(value for _, value in entry["points"])
+            series_rows.append([name, len(entry["points"]), total])
+    if scalar_rows:
+        out.write(render_table(["metric", "value"], scalar_rows, title="metrics") + "\n")
+    if series_rows:
+        out.write(
+            render_table(["series", "buckets", "total"], series_rows, title="series")
+            + "\n"
+        )
     return 0
 
 
@@ -274,8 +346,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="split the campaign into N permutation shards run in parallel "
         "worker processes (yarrp6 only)",
     )
+    probe.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON run manifest (spec, seed, metric dump, wall time) "
+        "to PATH alongside the .yrp6 output",
+    )
     probe.add_argument("--out", required=True)
     probe.set_defaults(handler=cmd_probe)
+
+    stats = commands.add_parser("stats", help="summarize a run manifest")
+    stats.add_argument("manifest", help="manifest JSON written by probe --metrics")
+    stats.set_defaults(handler=cmd_stats)
 
     analyze = commands.add_parser("analyze", help="analyze campaign output")
     analyze.add_argument("--results", required=True)

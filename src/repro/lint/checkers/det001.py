@@ -21,6 +21,13 @@ Flagged:
 * builtin ``hash()`` — PYTHONHASHSEED-dependent on ``str``/``bytes``;
   suppress with ``# repro-lint: disable=DET001`` plus a comment naming
   PYTHONHASHSEED where the salted hash genuinely cannot escape
+
+One structural exemption: the module ``repro.obs.wallclock`` is the
+designated top-level wall-clock boundary (run manifests report how long
+the *host* took), so pure time reads are permitted **there and only
+there**.  The exemption covers exactly the wall-clock subset — entropy
+sources (``os.urandom``, ``secrets``, module-level ``random.*``) stay
+banned even in that module.
 """
 
 from __future__ import annotations
@@ -57,6 +64,29 @@ BANNED_CALLS = frozenset(
 #: module-level convenience functions bound to the hidden global RNG).
 RANDOM_ALLOWED = frozenset({"random.Random"})
 
+#: The wall-clock subset of :data:`BANNED_CALLS` — permitted only inside
+#: the modules below; never the entropy sources.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: The single allowlisted wall-clock boundary (see its module docstring
+#: for the rules callers must follow).
+WALLCLOCK_EXEMPT_MODULES = frozenset({"repro.obs.wallclock"})
+
 #: Modules whose entire surface is banned.
 BANNED_PREFIXES = ("secrets.",)
 
@@ -85,6 +115,11 @@ class NondeterminismSources(Checker):
                     "use a keyed/stable hash (e.g. repro's address_checksum or "
                     "struct-packed digests) instead",
                 )
+            elif (
+                target in WALLCLOCK_CALLS
+                and context.module in WALLCLOCK_EXEMPT_MODULES
+            ):
+                continue
             elif target in BANNED_CALLS:
                 yield self.violation(
                     context,

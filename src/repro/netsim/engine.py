@@ -14,17 +14,28 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.metrics import NULL_REGISTRY, SCOPE_RUN, MetricsRegistry
+
 #: Microseconds per second, the engine's clock unit.
 US_PER_SECOND = 1_000_000
 
 
 class Engine:
-    """A minimal run-to-completion event scheduler over virtual time."""
+    """A minimal run-to-completion event scheduler over virtual time.
 
-    def __init__(self) -> None:
+    ``metrics`` attaches run-scoped instruments (events scheduled/fired,
+    queue depth); the default is the shared no-op registry, so the
+    telemetry costs one null method call per event when off.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0
         self._sequence = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_scheduled = registry.counter("engine.events_scheduled", scope=SCOPE_RUN)
+        self._m_fired = registry.counter("engine.events_fired", scope=SCOPE_RUN)
+        self._m_depth = registry.gauge("engine.queue_depth")
 
     @property
     def now(self) -> int:
@@ -41,6 +52,8 @@ class Engine:
             when = self._now
         self._sequence += 1
         heapq.heappush(self._queue, (when, self._sequence, callback))
+        self._m_scheduled.inc()
+        self._m_depth.set(len(self._queue))
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` microseconds of virtual time."""
@@ -60,6 +73,7 @@ class Engine:
                 break
             heapq.heappop(self._queue)
             self._now = when
+            self._m_fired.inc()
             callback()
         if until is not None and until > self._now:
             self._now = until
@@ -71,6 +85,7 @@ class Engine:
             return False
         when, _, callback = heapq.heappop(self._queue)
         self._now = when
+        self._m_fired.inc()
         callback()
         return True
 

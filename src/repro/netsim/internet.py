@@ -22,6 +22,8 @@ from bisect import bisect_right
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..addrs.prefix import Prefix
+from ..obs.metrics import DEFAULT_BUCKET_US, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..packet import fragment, icmpv6, ipv6, tcp, udp
 from ..packet.icmpv6 import UnreachableCode
 from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, IPv6Header
@@ -181,6 +183,8 @@ class Internet:
         self.truth = built.truth
         self.config = built.config
         self.stats = InternetStats()
+        #: Span/event sink; rebindable per campaign (default: no-op).
+        self.tracer: Tracer = NULL_TRACER
         self._rng = random.Random(built.config.seed ^ 0x5EED)
         self._path_cache: Dict[Tuple[int, int, int], CompiledPath] = {}
         self._vantage_by_addr: Dict[int, Vantage] = {
@@ -212,6 +216,44 @@ class Internet:
             router.limiter.reset()
             router.atomic_frag_until.clear()
         self.stats = InternetStats()
+
+    def attach_metrics(
+        self,
+        registry: MetricsRegistry,
+        bucket_us: int = DEFAULT_BUCKET_US,
+    ) -> None:
+        """Wire every router's rate limiter into telemetry instruments.
+
+        Records the Figure 5 raw inputs — per-virtual-bucket allowed and
+        denied decision series plus the post-decision token-level
+        distribution — through one shared observer closure, so the per-
+        decision cost is a couple of dict updates.  Observers are pure
+        recorders and never influence decisions; remove them with
+        :meth:`detach_metrics` once the campaign ends.
+        """
+        allowed_series = registry.series("ratelimit.allowed", bucket_us)
+        denied_series = registry.series("ratelimit.denied", bucket_us)
+        levels = registry.histogram(
+            "ratelimit.token_level",
+            bounds=(0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+        )
+        infinity = float("inf")
+
+        def observe(now: int, allowed: bool, tokens: float) -> None:
+            if allowed:
+                allowed_series.record(now)
+            else:
+                denied_series.record(now)
+            if tokens != infinity:
+                levels.observe(tokens)
+
+        for router in self.truth.routers.values():
+            router.limiter.observer = observe
+
+    def detach_metrics(self) -> None:
+        """Remove limiter observers installed by :meth:`attach_metrics`."""
+        for router in self.truth.routers.values():
+            router.limiter.observer = None
 
     def path_for(self, vantage: Vantage, dst: int, variant: int = 0) -> CompiledPath:
         """The compiled path from ``vantage`` toward ``dst`` for an ECMP
@@ -646,7 +688,14 @@ class Internet:
             return None
         # Mandated ICMPv6 error rate limiting, evaluated when the packet
         # actually reaches the router in virtual time.
-        if not router.limiter.consume(now + delay):
+        allowed = router.limiter.consume(now + delay)
+        self.tracer.event(
+            "limiter.decision",
+            router=router.router_id,
+            allowed=allowed,
+            decided_at_us=now + delay,
+        )
+        if not allowed:
             self.stats.rate_limited += 1
             return None
         if self._rng.random() < self.config.response_loss:

@@ -14,13 +14,20 @@ last update so that no periodic refill events are needed.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from .engine import US_PER_SECOND
+
+#: Telemetry hook called after every limiter decision with
+#: ``(virtual_now, allowed, tokens_after)``.  Observers must be pure
+#: recorders: they may never influence the decision or consume RNG.
+BucketObserver = Callable[[int, bool, float], None]
 
 
 class TokenBucket:
     """A continuous-refill token bucket evaluated at virtual timestamps."""
 
-    __slots__ = ("rate", "burst", "_tokens", "_updated", "allowed", "denied")
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "allowed", "denied", "observer")
 
     def __init__(self, rate: float, burst: float) -> None:
         if rate <= 0:
@@ -33,6 +40,7 @@ class TokenBucket:
         self._updated = 0
         self.allowed = 0
         self.denied = 0
+        self.observer: Optional[BucketObserver] = None
 
     def _refill(self, now: int) -> None:
         if now > self._updated:
@@ -48,8 +56,12 @@ class TokenBucket:
         if self._tokens >= amount:
             self._tokens -= amount
             self.allowed += 1
+            if self.observer is not None:
+                self.observer(now, True, self._tokens)
             return True
         self.denied += 1
+        if self.observer is not None:
+            self.observer(now, False, self._tokens)
         return False
 
     def peek(self, now: int) -> float:
@@ -81,7 +93,7 @@ class TokenBucket:
 class UnlimitedBucket:
     """A degenerate limiter that always permits (for unlimited hops)."""
 
-    __slots__ = ("allowed", "denied")
+    __slots__ = ("allowed", "denied", "observer")
 
     rate = float("inf")
     burst = float("inf")
@@ -89,9 +101,12 @@ class UnlimitedBucket:
     def __init__(self) -> None:
         self.allowed = 0
         self.denied = 0
+        self.observer: Optional[BucketObserver] = None
 
     def consume(self, now: int, amount: float = 1.0) -> bool:
         self.allowed += 1
+        if self.observer is not None:
+            self.observer(now, True, float("inf"))
         return True
 
     def peek(self, now: int) -> float:

@@ -1,0 +1,75 @@
+"""Observability over virtual time: metrics, spans, and run manifests.
+
+The simulator measures itself the same way it measures the paper's
+probers — on the virtual clock.  :mod:`~repro.obs.metrics` carries the
+counters/series registry, :mod:`~repro.obs.trace` records nested
+virtual-time spans, :mod:`~repro.obs.manifest` writes the per-run JSON
+manifest, and :mod:`~repro.obs.wallclock` is the one allowlisted place
+host time may be read (reporting only).  See ``docs/observability.md``.
+"""
+
+from .manifest import (
+    MANIFEST_FORMAT,
+    Manifest,
+    ManifestError,
+    build_manifest,
+    deterministic_view,
+    manifest_dumps,
+    read_manifest,
+    write_manifest,
+)
+from .metrics import (
+    DEFAULT_BUCKET_US,
+    NULL_REGISTRY,
+    SCOPE_MERGE,
+    SCOPE_RUN,
+    Counter,
+    CounterMap,
+    Gauge,
+    Histogram,
+    MetricDump,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    TimeSeries,
+    dump_to_json,
+    merge_dumps,
+    series_cumulative,
+    series_points,
+)
+from .trace import NULL_TRACER, NullTracer, Span, TraceError, Tracer
+from .wallclock import Stopwatch
+
+__all__ = [
+    "Counter",
+    "CounterMap",
+    "DEFAULT_BUCKET_US",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_FORMAT",
+    "Manifest",
+    "ManifestError",
+    "MetricDump",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "SCOPE_MERGE",
+    "SCOPE_RUN",
+    "Span",
+    "Stopwatch",
+    "TimeSeries",
+    "TraceError",
+    "Tracer",
+    "build_manifest",
+    "deterministic_view",
+    "dump_to_json",
+    "manifest_dumps",
+    "merge_dumps",
+    "read_manifest",
+    "series_cumulative",
+    "series_points",
+    "write_manifest",
+]

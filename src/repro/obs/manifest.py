@@ -1,0 +1,105 @@
+"""Run manifests: one JSON document describing a campaign run.
+
+A manifest is written next to the ``.yrp6`` record file and captures
+everything needed to reproduce and audit the run: the world spec and
+seed, the prober setup, the headline result counters, the full metrics
+dump, and — in its own clearly quarantined section — the wall-clock
+duration measured at the top-level boundary via
+:mod:`repro.obs.wallclock`.
+
+Everything except the ``wallclock`` section is a pure function of the
+spec: :func:`deterministic_view` strips that section, and
+:func:`manifest_dumps` of the stripped view is byte-identical across
+reruns and across parallel shard counts (for decoupled worlds, the same
+contract as ``run_parallel``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from .metrics import MetricDump
+
+if TYPE_CHECKING:  # avoid a runtime package cycle: obs never imports prober
+    from ..prober.campaign import CampaignResult
+
+#: Format identifier, bumped on breaking schema changes.
+MANIFEST_FORMAT = "repro-manifest/1"
+
+Manifest = Dict[str, Any]
+
+
+class ManifestError(ValueError):
+    """Raised for unreadable or wrong-format manifest files."""
+
+
+def build_manifest(
+    result: "CampaignResult",
+    seed: int,
+    metrics: Optional[MetricDump] = None,
+    world: Optional[Dict[str, Any]] = None,
+    records_file: Optional[str] = None,
+    workers: int = 1,
+    wall_seconds: Optional[float] = None,
+) -> Manifest:
+    """Assemble the manifest document for one finished campaign."""
+    manifest: Manifest = {
+        "format": MANIFEST_FORMAT,
+        "run": {
+            "name": result.name,
+            "vantage": result.vantage,
+            "prober": result.prober,
+            "pps": result.pps,
+            "targets": result.targets,
+            "sent": result.sent,
+            "responses": len(result.records),
+            "interfaces": len(result.interfaces),
+            "duration_us": result.duration_us,
+            "workers": workers,
+        },
+        "seed": seed,
+        "summary": dict(result.summary),
+        "metrics": metrics if metrics is not None else {},
+    }
+    if world is not None:
+        manifest["world"] = world
+    if records_file is not None:
+        manifest["records_file"] = records_file
+    if wall_seconds is not None:
+        manifest["wallclock"] = {"seconds": wall_seconds}
+    return manifest
+
+
+def deterministic_view(manifest: Manifest) -> Manifest:
+    """The manifest minus host-dependent fields (the wall-clock section
+    and the records-file path): the part covered by byte-identity."""
+    return {
+        key: value
+        for key, value in manifest.items()
+        if key not in ("wallclock", "records_file")
+    }
+
+
+def manifest_dumps(manifest: Manifest) -> str:
+    """Canonical JSON: sorted keys, stable separators, trailing newline."""
+    return (
+        json.dumps(manifest, sort_keys=True, separators=(",", ": "), indent=1)
+        + "\n"
+    )
+
+
+def write_manifest(path: str, manifest: Manifest) -> None:
+    with open(path, "w") as sink:
+        sink.write(manifest_dumps(manifest))
+
+
+def read_manifest(path: str) -> Manifest:
+    with open(path) as source:
+        try:
+            data = json.load(source)
+        except json.JSONDecodeError as error:
+            raise ManifestError("not a JSON manifest: %s" % error) from error
+    if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+        raise ManifestError("not a %s file: %s" % (MANIFEST_FORMAT, path))
+    return data

@@ -1,0 +1,519 @@
+"""Virtual-time metrics: counters, gauges, bucketed series, histograms.
+
+The registry is the simulator's instrument panel.  Every metric is keyed
+to the **virtual clock** — the only clock simulation code may read (see
+DET001 and ``docs/observability.md``); wall time exists solely at the
+top-level run boundary in :mod:`repro.obs.wallclock`.  That restriction
+is what makes a metrics dump a *result* rather than a log: the same
+campaign spec produces the same dump, byte for byte, on any machine and
+in any process layout.
+
+Two properties the rest of the system builds on:
+
+**Deterministic dumps.**  :meth:`MetricsRegistry.to_dict` renders every
+metric into plain JSON-able values with fully ordered keys, and
+:func:`dump_to_json` serializes with sorted keys, so equal registries
+produce equal bytes.
+
+**Deterministic merges.**  :func:`merge_dumps` combines per-shard dumps
+from the parallel runner into one dump by per-kind semantics: counters,
+counter maps, series buckets, and histogram counts are summed.  Metrics
+carry a *scope*: ``"merge"`` metrics count per-probe events that
+partition exactly across permutation shards (their sums reproduce the
+single-process dump bit for bit over decoupled worlds); ``"run"``
+metrics — and every gauge — are per-process diagnostics (engine queue
+depth, event totals) that are *dropped* at merge time because
+aggregating them across processes has no meaning.
+
+The default registry everywhere is :data:`NULL_REGISTRY`, whose metric
+objects are shared no-op singletons, so instrumentation stays on the hot
+paths at the cost of one method call per event.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: A metric dump: metric name -> rendered payload (plain JSON values).
+MetricDump = Dict[str, Dict[str, Any]]
+
+#: Metrics with this scope merge exactly across permutation shards.
+SCOPE_MERGE = "merge"
+#: Per-process diagnostics, dropped when shard dumps are merged.
+SCOPE_RUN = "run"
+
+#: Default virtual-time bucket width for time series: one virtual second.
+DEFAULT_BUCKET_US = 1_000_000
+
+
+class MetricError(ValueError):
+    """Raised for inconsistent metric declarations or unmergeable dumps."""
+
+
+class Metric:
+    """Base class: a named instrument with a merge scope."""
+
+    kind = ""
+
+    __slots__ = ("name", "scope")
+
+    def __init__(self, name: str, scope: str) -> None:
+        if scope not in (SCOPE_MERGE, SCOPE_RUN):
+            raise MetricError("unknown scope %r for metric %r" % (scope, name))
+        self.name = name
+        self.scope = scope
+
+    def payload(self) -> Dict[str, Any]:
+        """Kind-specific rendered values (JSON-able, fully ordered)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "scope": self.scope}
+        data.update(self.payload())
+        return data
+
+
+class Counter(Metric):
+    """A monotonically growing tally."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, scope: str = SCOPE_MERGE) -> None:
+        super().__init__(name, scope)
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def payload(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A point-in-time observation (queue depth, token level).
+
+    Gauges are always run-scoped: the maximum queue depth of one shard's
+    engine says nothing about the campaign as a whole, so merges drop
+    them by construction.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("last", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, SCOPE_RUN)
+        self.last: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.samples = 0
+
+    def set(self, value: Number) -> None:
+        self.last = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "last": self.last,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+class CounterMap(Metric):
+    """A family of tallies keyed by a small integer (e.g. per-TTL yield)."""
+
+    kind = "counter_map"
+
+    __slots__ = ("values",)
+
+    def __init__(self, name: str, scope: str = SCOPE_MERGE) -> None:
+        super().__init__(name, scope)
+        self.values: Dict[int, Number] = {}
+
+    def inc(self, key: int, amount: Number = 1) -> None:
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def total(self) -> Number:
+        return sum(self.values.values())
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "values": [[key, self.values[key]] for key in sorted(self.values)]
+        }
+
+
+class TimeSeries(Metric):
+    """Event amounts accumulated into fixed virtual-time buckets.
+
+    ``record(now, amount)`` adds ``amount`` to the bucket containing the
+    virtual timestamp ``now``; the rendered payload is a sorted list of
+    ``[bucket_start_us, value]`` points.  Because cooperating shards emit
+    on exactly the virtual-clock slots the single process would use, the
+    per-bucket sums of shard series reproduce the single-process series.
+    """
+
+    kind = "series"
+
+    __slots__ = ("bucket_us", "buckets")
+
+    def __init__(
+        self,
+        name: str,
+        bucket_us: int = DEFAULT_BUCKET_US,
+        scope: str = SCOPE_MERGE,
+    ) -> None:
+        super().__init__(name, scope)
+        if bucket_us < 1:
+            raise MetricError("bucket_us must be >= 1: %r" % bucket_us)
+        self.bucket_us = bucket_us
+        self.buckets: Dict[int, Number] = {}
+
+    def record(self, now: int, amount: Number = 1) -> None:
+        bucket = (now // self.bucket_us) * self.bucket_us
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def total(self) -> Number:
+        return sum(self.buckets.values())
+
+    def points(self) -> List[List[Number]]:
+        return [[bucket, self.buckets[bucket]] for bucket in sorted(self.buckets)]
+
+    def payload(self) -> Dict[str, Any]:
+        return {"bucket_us": self.bucket_us, "points": self.points()}
+
+
+class Histogram(Metric):
+    """Value-distribution counts over fixed bounds.
+
+    ``bounds`` are ascending upper edges; observations land in the first
+    bucket whose bound is >= the value, or in the overflow bucket past
+    the last bound.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "counts")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        scope: str = SCOPE_MERGE,
+    ) -> None:
+        super().__init__(name, scope)
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise MetricError(
+                "histogram bounds must be non-empty and strictly ascending: %r"
+                % (bounds,)
+            )
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts)}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Re-requesting a name returns the existing instrument; requesting it
+    with a different kind (or incompatible parameters) raises, so two
+    call sites can never silently split one logical metric.
+    """
+
+    #: False on :class:`NullRegistry`: lets callers skip optional work
+    #: (set maintenance, dump assembly) when nobody is listening.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- factories -------------------------------------------------------
+    def counter(self, name: str, scope: str = SCOPE_MERGE) -> Counter:
+        metric = self._get(name, Counter)
+        if metric is None:
+            metric = Counter(name, scope)
+            self._metrics[name] = metric
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, Gauge)
+        if metric is None:
+            metric = Gauge(name)
+            self._metrics[name] = metric
+        return metric
+
+    def counter_map(self, name: str, scope: str = SCOPE_MERGE) -> CounterMap:
+        metric = self._get(name, CounterMap)
+        if metric is None:
+            metric = CounterMap(name, scope)
+            self._metrics[name] = metric
+        return metric
+
+    def series(
+        self,
+        name: str,
+        bucket_us: int = DEFAULT_BUCKET_US,
+        scope: str = SCOPE_MERGE,
+    ) -> TimeSeries:
+        metric = self._get(name, TimeSeries)
+        if metric is None:
+            metric = TimeSeries(name, bucket_us, scope)
+            self._metrics[name] = metric
+        elif metric.bucket_us != bucket_us:
+            raise MetricError(
+                "series %r already registered with bucket_us=%d (requested %d)"
+                % (name, metric.bucket_us, bucket_us)
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        scope: str = SCOPE_MERGE,
+    ) -> Histogram:
+        metric = self._get(name, Histogram)
+        if metric is None:
+            metric = Histogram(name, bounds, scope)
+            self._metrics[name] = metric
+        elif metric.bounds != tuple(float(bound) for bound in bounds):
+            raise MetricError(
+                "histogram %r already registered with bounds %r"
+                % (name, metric.bounds)
+            )
+        return metric
+
+    def _get(self, name: str, expected: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        if type(metric) is not expected:
+            raise MetricError(
+                "metric %r already registered as %s, requested as %s"
+                % (name, metric.kind, expected.__name__)
+            )
+        return metric
+
+    # -- inspection ------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def to_dict(self, include_run_scoped: bool = True) -> MetricDump:
+        """Render every metric; key order is sorted and value rendering
+        is canonical, so equal registries dump equal bytes."""
+        dump: MetricDump = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if not include_run_scoped and metric.scope == SCOPE_RUN:
+                continue
+            dump[name] = metric.to_dict()
+        return dump
+
+    def dumps(self, include_run_scoped: bool = True) -> str:
+        return dump_to_json(self.to_dict(include_run_scoped=include_run_scoped))
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments: the always-on default.
+# ---------------------------------------------------------------------------
+class NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class NullCounterMap(CounterMap):
+    __slots__ = ()
+
+    def inc(self, key: int, amount: Number = 1) -> None:
+        pass
+
+
+class NullTimeSeries(TimeSeries):
+    __slots__ = ()
+
+    def record(self, now: int, amount: Number = 1) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = NullCounter("null")
+_NULL_GAUGE = NullGauge("null")
+_NULL_COUNTER_MAP = NullCounterMap("null")
+_NULL_SERIES = NullTimeSeries("null")
+_NULL_HISTOGRAM = NullHistogram("null", bounds=(1.0,))
+
+
+class NullRegistry(MetricsRegistry):
+    """The default: hands out shared no-op instruments and dumps empty."""
+
+    enabled = False
+
+    def counter(self, name: str, scope: str = SCOPE_MERGE) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def counter_map(self, name: str, scope: str = SCOPE_MERGE) -> CounterMap:
+        return _NULL_COUNTER_MAP
+
+    def series(
+        self,
+        name: str,
+        bucket_us: int = DEFAULT_BUCKET_US,
+        scope: str = SCOPE_MERGE,
+    ) -> TimeSeries:
+        return _NULL_SERIES
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        scope: str = SCOPE_MERGE,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def to_dict(self, include_run_scoped: bool = True) -> MetricDump:
+        return {}
+
+
+#: Shared no-op registry; safe to hand to any number of components.
+NULL_REGISTRY = NullRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Dump serialization and merging.
+# ---------------------------------------------------------------------------
+def dump_to_json(dump: MetricDump) -> str:
+    """Canonical JSON for a dump: sorted keys, no whitespace drift."""
+    return json.dumps(dump, sort_keys=True, separators=(",", ": "), indent=1)
+
+
+def merge_dumps(dumps: Sequence[MetricDump]) -> MetricDump:
+    """Merge per-shard dumps into one, by per-kind semantics.
+
+    Counters, counter maps, series buckets, and histogram counts are
+    summed; run-scoped metrics and gauges are dropped (per-process
+    diagnostics).  Series bucket widths and histogram bounds must agree
+    across shards — a mismatch raises :class:`MetricError` rather than
+    producing a silently wrong aggregate.
+    """
+    merged: MetricDump = {}
+    for dump in dumps:
+        for name in sorted(dump):
+            entry = dump[name]
+            if entry.get("scope") != SCOPE_MERGE or entry.get("kind") == "gauge":
+                continue
+            current = merged.get(name)
+            if current is None:
+                merged[name] = _copy_entry(entry)
+            else:
+                _merge_entry(name, current, entry)
+    return merged
+
+
+def _copy_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    copied: Dict[str, Any] = {}
+    for key, value in entry.items():
+        if isinstance(value, list):
+            copied[key] = [list(item) if isinstance(item, list) else item for item in value]
+        else:
+            copied[key] = value
+    return copied
+
+
+def _merge_entry(name: str, current: Dict[str, Any], entry: Dict[str, Any]) -> None:
+    kind = current.get("kind")
+    if entry.get("kind") != kind:
+        raise MetricError(
+            "metric %r has conflicting kinds across shards: %r vs %r"
+            % (name, kind, entry.get("kind"))
+        )
+    if kind == "counter":
+        current["value"] = current["value"] + entry["value"]
+    elif kind == "counter_map":
+        values = {key: value for key, value in current["values"]}
+        for key, value in entry["values"]:
+            values[key] = values.get(key, 0) + value
+        current["values"] = [[key, values[key]] for key in sorted(values)]
+    elif kind == "series":
+        if current["bucket_us"] != entry["bucket_us"]:
+            raise MetricError(
+                "series %r has conflicting bucket widths across shards: %d vs %d"
+                % (name, current["bucket_us"], entry["bucket_us"])
+            )
+        buckets = {bucket: value for bucket, value in current["points"]}
+        for bucket, value in entry["points"]:
+            buckets[bucket] = buckets.get(bucket, 0) + value
+        current["points"] = [[bucket, buckets[bucket]] for bucket in sorted(buckets)]
+    elif kind == "histogram":
+        if current["bounds"] != entry["bounds"]:
+            raise MetricError(
+                "histogram %r has conflicting bounds across shards: %r vs %r"
+                % (name, current["bounds"], entry["bounds"])
+            )
+        current["counts"] = [
+            a + b for a, b in zip(current["counts"], entry["counts"])
+        ]
+    else:
+        raise MetricError("metric %r has unmergeable kind %r" % (name, kind))
+
+
+def series_points(dump: MetricDump, name: str) -> List[Tuple[int, Number]]:
+    """The ``[bucket_start_us, value]`` points of a series in a dump."""
+    entry = dump.get(name)
+    if entry is None or entry.get("kind") != "series":
+        return []
+    return [(int(bucket), value) for bucket, value in entry["points"]]
+
+
+def series_cumulative(dump: MetricDump, name: str) -> List[Tuple[int, Number]]:
+    """Cumulative view of a series — e.g. the Figure 7 discovery curve
+    reconstructed from the ``campaign.discovery`` telemetry."""
+    running: Number = 0
+    out: List[Tuple[int, Number]] = []
+    for bucket, value in series_points(dump, name):
+        running += value
+        out.append((bucket, running))
+    return out

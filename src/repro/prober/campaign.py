@@ -14,6 +14,13 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..netsim.engine import Engine, pps_interval
 from ..netsim.internet import Internet
+from ..obs.metrics import (
+    DEFAULT_BUCKET_US,
+    NULL_REGISTRY,
+    MetricDump,
+    MetricsRegistry,
+)
+from ..obs.trace import NULL_TRACER, Tracer
 from .doubletree import DoubletreeConfig, DoubletreeProber
 from .records import ProbeRecord
 from .traceroute import SequentialConfig, SequentialProber
@@ -40,6 +47,8 @@ class CampaignResult:
     #: the paper's accounting, regardless of prober).
     traces: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry dump (None unless the campaign ran with a registry).
+    metrics: Optional[MetricDump] = None
 
     @property
     def yield_per_probe(self) -> float:
@@ -55,14 +64,18 @@ Prober = Union[Yarrp6, SequentialProber, DoubletreeProber]
 
 
 def _make_prober(
-    kind: str, source: int, targets: Sequence[int], config: Any
+    kind: str,
+    source: int,
+    targets: Sequence[int],
+    config: Any,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Prober:
     if kind == "yarrp6":
-        return Yarrp6(source, targets, config)
+        return Yarrp6(source, targets, config, metrics=metrics)
     if kind == "sequential":
-        return SequentialProber(source, targets, config)
+        return SequentialProber(source, targets, config, metrics=metrics)
     if kind == "doubletree":
-        return DoubletreeProber(source, targets, config)
+        return DoubletreeProber(source, targets, config, metrics=metrics)
     raise ValueError("unknown prober kind %r" % kind)
 
 
@@ -78,6 +91,9 @@ def run_campaign(
     reset: bool = True,
     pace_offset_us: int = 0,
     pace_stride: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    metrics_bucket_us: int = DEFAULT_BUCKET_US,
 ) -> CampaignResult:
     """Run one probing campaign to completion in virtual time.
 
@@ -91,6 +107,14 @@ def run_campaign(
     and stride ``N`` occupies exactly the emission slots the single-process
     walk would give its permutation positions, which is what makes the
     parallel runner's merge bit-for-bit faithful (see ``prober.parallel``).
+
+    ``metrics`` turns on telemetry: engine/prober/rate-limiter instruments
+    plus the per-virtual-bucket ``campaign.sent`` and ``campaign.discovery``
+    series (the Figure 7 inputs), all dumped into the result's ``metrics``
+    field.  ``tracer`` records nested virtual-time spans (campaign → tick →
+    emit/probe → limiter decisions).  Both default to shared no-ops and
+    never alter the campaign's event stream: the probe bytes, records, and
+    interfaces are bit-identical with telemetry on or off.
     """
     if pace_stride < 1:
         raise ValueError("pace_stride must be >= 1: %r" % pace_stride)
@@ -98,31 +122,68 @@ def run_campaign(
         raise ValueError("negative pace_offset_us: %r" % pace_offset_us)
     if reset:
         internet.reset_dynamics()
-    engine = engine or Engine()
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    trace = tracer if tracer is not None else NULL_TRACER
+    engine = engine or Engine(metrics=metrics)
+    trace.bind_clock(lambda: engine.now)
     vantage = internet.vantage(vantage_name)
-    machine = _make_prober(prober, vantage.address, targets, config)
+    machine = _make_prober(prober, vantage.address, targets, config, registry)
     interval = pps_interval(pps) * pace_stride
 
-    def tick() -> None:
-        packet = machine.next_probe(engine.now)
-        if packet is None:
-            if not machine.exhausted:
-                # Neighborhood skipping may momentarily starve emission.
-                engine.schedule(interval, tick)
-            return
-        response = internet.probe(packet, engine.now)
-        if response is not None:
-            data = response.data
-            engine.schedule(response.delay_us, lambda data=data: machine.receive(data, engine.now))
-        if not machine.exhausted:
-            # Probers that exhaust on their final emission (Yarrp6) end the
-            # campaign here, so duration is the last emission or response —
-            # never an empty trailing tick, whose time would depend on the
-            # pacing stride rather than on the probe stream itself.
-            engine.schedule(interval, tick)
+    sent_series = registry.series("campaign.sent", metrics_bucket_us)
+    discovery_series = registry.series("campaign.discovery", metrics_bucket_us)
+    # Novel-interface tracking costs a set lookup per response; skip it
+    # entirely when nobody is listening.
+    track_discovery = registry.enabled
+    discovered: Set[int] = set()
 
-    engine.schedule(pace_offset_us, tick)
-    engine.run()
+    def deliver(data: bytes) -> None:
+        with trace.span("receive"):
+            record = machine.receive(data, engine.now)
+        if (
+            track_discovery
+            and record is not None
+            and record.is_time_exceeded
+            and record.hop not in discovered
+        ):
+            discovered.add(record.hop)
+            discovery_series.record(engine.now)
+
+    def tick() -> None:
+        with trace.span("tick"):
+            with trace.span("emit"):
+                packet = machine.next_probe(engine.now)
+            if packet is None:
+                if not machine.exhausted:
+                    # Neighborhood skipping may momentarily starve emission.
+                    engine.schedule(interval, tick)
+                return
+            sent_series.record(engine.now)
+            with trace.span("probe"):
+                response = internet.probe(packet, engine.now)
+            if response is not None:
+                data = response.data
+                engine.schedule(response.delay_us, lambda data=data: deliver(data))
+            if not machine.exhausted:
+                # Probers that exhaust on their final emission (Yarrp6) end the
+                # campaign here, so duration is the last emission or response —
+                # never an empty trailing tick, whose time would depend on the
+                # pacing stride rather than on the probe stream itself.
+                engine.schedule(interval, tick)
+
+    if registry.enabled:
+        internet.attach_metrics(registry, metrics_bucket_us)
+    if trace.enabled:
+        internet.tracer = trace
+    try:
+        with trace.span("campaign", vantage=vantage_name, prober=prober):
+            engine.schedule(pace_offset_us, tick)
+            engine.run()
+    finally:
+        if trace.enabled:
+            internet.tracer = NULL_TRACER
+        if registry.enabled:
+            internet.detach_metrics()
 
     processor = machine.processor
     return CampaignResult(
@@ -139,6 +200,7 @@ def run_campaign(
         summary=machine.summary(),
         duration_us=engine.now,
         traces=len(targets),
+        metrics=registry.to_dict() if registry.enabled else None,
     )
 
 
@@ -149,13 +211,16 @@ def run_yarrp6(
     pps: float = 1000.0,
     config: Optional[Yarrp6Config] = None,
     name: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Yarrp6 campaign with config keywords."""
     if config is None and config_kwargs:
         config = Yarrp6Config(**config_kwargs)
     return run_campaign(
-        internet, vantage_name, targets, "yarrp6", pps, config, name=name
+        internet, vantage_name, targets, "yarrp6", pps, config, name=name,
+        metrics=metrics, tracer=tracer,
     )
 
 
@@ -166,13 +231,16 @@ def run_sequential(
     pps: float = 1000.0,
     config: Optional[SequentialConfig] = None,
     name: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: sequential (scamper-like) campaign."""
     if config is None and config_kwargs:
         config = SequentialConfig(**config_kwargs)
     return run_campaign(
-        internet, vantage_name, targets, "sequential", pps, config, name=name
+        internet, vantage_name, targets, "sequential", pps, config, name=name,
+        metrics=metrics, tracer=tracer,
     )
 
 
@@ -183,11 +251,14 @@ def run_doubletree(
     pps: float = 1000.0,
     config: Optional[DoubletreeConfig] = None,
     name: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Doubletree campaign."""
     if config is None and config_kwargs:
         config = DoubletreeConfig(**config_kwargs)
     return run_campaign(
-        internet, vantage_name, targets, "doubletree", pps, config, name=name
+        internet, vantage_name, targets, "doubletree", pps, config, name=name,
+        metrics=metrics, tracer=tracer,
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from .encoding import encode_probe
 from .records import ProbeRecord, ResponseProcessor
 
@@ -55,6 +56,7 @@ class DoubletreeProber:
         source: int,
         targets: Sequence[int],
         config: Optional[DoubletreeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.source = source
         self.targets = list(targets)
@@ -65,6 +67,10 @@ class DoubletreeProber:
             raise ValueError("start TTL outside probing range")
         self.processor = ResponseProcessor(self.config.instance)
         self.sent = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_sent = registry.counter("prober.sent")
+        self._m_responses = registry.counter("prober.responses")
+        self._m_ttl_yield = registry.counter_map("prober.ttl_yield")
         #: Local stop set: interfaces seen at any hop by any earlier trace.
         self.stop_set: Set[int] = set()
         #: (hop interface) pairs recorded per (target, ttl) for stop tests.
@@ -120,6 +126,7 @@ class DoubletreeProber:
             self._emitter = None
             return None
         self.sent += 1
+        self._m_sent.inc()
         return encode_probe(
             self.source,
             target,
@@ -133,6 +140,9 @@ class DoubletreeProber:
         record = self.processor.process(data, now, self.sent)
         if record is None:
             return None
+        self._m_responses.inc()
+        if record.is_time_exceeded:
+            self._m_ttl_yield.inc(record.ttl)
         trace = self._traces.get(record.target)
         if trace is None:
             return record

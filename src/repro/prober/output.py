@@ -41,6 +41,10 @@ def write_records(
     """Write records as rows; returns the number written."""
     sink.write("# %s\n" % FORMAT_VERSION)
     for key, value in (metadata or {}).items():
+        # Keys are interpolated into header lines exactly like values: a
+        # newline in either would silently split one header into two.
+        if "\n" in str(key):
+            raise OutputError("metadata keys must be single-line: %r" % key)
         if "\n" in str(value):
             raise OutputError("metadata values must be single-line: %r" % key)
         sink.write("# %s: %s\n" % (key, value))

@@ -52,11 +52,17 @@ import multiprocessing.pool
 import os
 import traceback
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..netsim.build import InternetConfig
 from ..netsim.engine import pps_interval
 from ..netsim.internet import Internet
+from ..obs.metrics import (
+    DEFAULT_BUCKET_US,
+    MetricDump,
+    MetricsRegistry,
+    merge_dumps,
+)
 from .campaign import CampaignResult, run_campaign
 from .permutation import ProbeSchedule
 from .records import ProbeRecord
@@ -81,6 +87,10 @@ class CampaignSpec:
     pps: float = 1000.0
     config: Optional[Yarrp6Config] = None
     name: Optional[str] = None
+    #: Run every shard with a metrics registry; the merged result carries
+    #: the shard dumps combined by :func:`repro.obs.metrics.merge_dumps`.
+    metrics: bool = False
+    metrics_bucket_us: int = DEFAULT_BUCKET_US
 
     def prober_config(self) -> Yarrp6Config:
         return self.config or Yarrp6Config()
@@ -135,6 +145,8 @@ def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:
         name="%s[%d/%d]" % (spec.default_name(), shard, shards),
         pace_offset_us=shard * base,
         pace_stride=shards,
+        metrics=MetricsRegistry() if spec.metrics else None,
+        metrics_bucket_us=spec.metrics_bucket_us,
     )
 
 
@@ -149,6 +161,8 @@ def run_single(spec: CampaignSpec) -> CampaignResult:
         spec.pps,
         spec.prober_config(),
         name=spec.name,
+        metrics=MetricsRegistry() if spec.metrics else None,
+        metrics_bucket_us=spec.metrics_bucket_us,
     )
 
 
@@ -290,10 +304,12 @@ def merge_results(
     interfaces = set()
     records: List[ProbeRecord] = []
     curve: List[Tuple[int, int]] = []
+    discovery_times: List[int] = []
     for received_at, send_time, shard, record in tagged:
         records.append(record)
         if record.is_time_exceeded and record.hop not in interfaces:
             interfaces.add(record.hop)
+            discovery_times.append(received_at)
             curve.append(
                 (
                     _global_sent_at(
@@ -314,6 +330,12 @@ def merge_results(
         for label, count in result.response_labels.items():
             response_labels[label] = response_labels.get(label, 0) + count
 
+    dumps = [result.metrics for result in shard_results]
+    merged_metrics: Optional[MetricDump] = None
+    if all(dump is not None for dump in dumps):
+        merged_metrics = merge_dumps([dump for dump in dumps if dump is not None])
+        _rebuild_discovery(merged_metrics, discovery_times)
+
     return CampaignResult(
         name=name or first.name,
         vantage=first.vantage,
@@ -328,4 +350,24 @@ def merge_results(
         summary=summary,
         duration_us=max(result.duration_us for result in shard_results),
         traces=targets if targets is not None else first.traces,
+        metrics=merged_metrics,
     )
+
+
+def _rebuild_discovery(merged: MetricDump, discovery_times: Sequence[int]) -> None:
+    """Recompute ``campaign.discovery`` from the merged record replay.
+
+    The summed per-shard series overcounts: an interface two shards each
+    saw first is "novel" twice.  Global novelty is decided above during
+    the merged replay, so the series is rebuilt from those timestamps —
+    making the dump identical for every shard count, including 1.
+    """
+    entry = merged.get("campaign.discovery")
+    if entry is None:
+        return
+    bucket_us = int(entry["bucket_us"])
+    buckets: Dict[int, int] = {}
+    for when in discovery_times:
+        bucket = (when // bucket_us) * bucket_us
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    entry["points"] = [[bucket, buckets[bucket]] for bucket in sorted(buckets)]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from .encoding import encode_probe
 from .records import ProbeRecord, ResponseProcessor
 
@@ -58,6 +59,7 @@ class SequentialProber:
         source: int,
         targets: Sequence[int],
         config: Optional[SequentialConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.source = source
         self.targets = list(targets)
@@ -68,6 +70,11 @@ class SequentialProber:
         self.sent = 0
         self._traces: Dict[int, _TraceState] = {}
         self._emitter = self._emission_order()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_sent = registry.counter("prober.sent")
+        self._m_responses = registry.counter("prober.responses")
+        self._m_ttl_yield = registry.counter_map("prober.ttl_yield")
+        self._m_completed = registry.counter("prober.completed_traces")
 
     def _emission_order(self) -> Iterator[Tuple[int, int]]:
         """Generate (target, ttl) in windowed per-TTL waves."""
@@ -113,6 +120,7 @@ class SequentialProber:
             self._emitter = None
             return None
         self.sent += 1
+        self._m_sent.inc()
         return encode_probe(
             self.source,
             target,
@@ -126,11 +134,16 @@ class SequentialProber:
         record = self.processor.process(data, now, self.sent)
         if record is None:
             return None
+        self._m_responses.inc()
+        if record.is_time_exceeded:
+            self._m_ttl_yield.inc(record.ttl)
         trace = self._traces.get(record.target)
         if trace is not None:
             trace.responded_ttls.add(record.ttl)
             if record.is_terminal:
                 # Destination (or a terminal error source) reached: stop.
+                if not trace.terminal:
+                    self._m_completed.inc()
                 trace.terminal = True
                 trace.alive = False
         return record

@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from .encoding import encode_probe
 from .permutation import ProbeSchedule
 from .records import ProbeRecord, ResponseProcessor
@@ -54,7 +55,13 @@ class Yarrp6Config:
 class Yarrp6:
     """The prober: hand it targets, pull packets, feed it responses."""
 
-    def __init__(self, source: int, targets: Sequence[int], config: Optional[Yarrp6Config] = None) -> None:
+    def __init__(
+        self,
+        source: int,
+        targets: Sequence[int],
+        config: Optional[Yarrp6Config] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.source = source
         self.targets = list(targets)
         self.config = config or Yarrp6Config()
@@ -81,6 +88,12 @@ class Yarrp6:
         # Neighborhood state: per-TTL timestamp of the last new interface.
         self._last_new_at: Dict[int, int] = {}
         self._neighborhood_known: Dict[int, set] = {}
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_sent = registry.counter("prober.sent")
+        self._m_fills = registry.counter("prober.fills")
+        self._m_skipped = registry.counter("prober.skipped")
+        self._m_responses = registry.counter("prober.responses")
+        self._m_ttl_yield = registry.counter_map("prober.ttl_yield")
 
     # -- emission --------------------------------------------------------
     @property
@@ -97,6 +110,7 @@ class Yarrp6:
         if self._fill_queue:
             target, ttl = self._fill_queue.popleft()
             self.fills += 1
+            self._m_fills.inc()
             return self._encode(target, ttl, now)
         total = len(self.schedule)
         while self._cursor < total:
@@ -108,12 +122,14 @@ class Yarrp6:
             self._cursor += 1
             if self._skip_neighborhood(ttl, now):
                 self.skipped += 1
+                self._m_skipped.inc()
                 continue
             return self._encode(self.targets[target_index], ttl, now)
         return None
 
     def _encode(self, target: int, ttl: int, now: int) -> bytes:
         self.sent += 1
+        self._m_sent.inc()
         return encode_probe(
             self.source,
             target,
@@ -140,6 +156,9 @@ class Yarrp6:
         record = self.processor.process(data, now, self.sent)
         if record is None:
             return None
+        self._m_responses.inc()
+        if record.is_time_exceeded:
+            self._m_ttl_yield.inc(record.ttl)
         if (
             self.config.neighborhood_ttl is not None
             and record.is_time_exceeded

@@ -188,6 +188,96 @@ class TestPipeline:
         )
         assert code == 2
 
+    def test_probe_metrics_writes_manifest(self, world_file, tmp_path):
+        from repro.obs import MANIFEST_FORMAT, read_manifest
+
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        results = str(tmp_path / "run.yrp6")
+        manifest_path = str(tmp_path / "run.manifest.json")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", results,
+                "--metrics", manifest_path,
+            ]
+        )
+        assert code == 0, text
+        assert manifest_path in text
+        manifest = read_manifest(manifest_path)
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["seed"] == 5  # the world's seed, from the file
+        assert manifest["records_file"] == results
+        assert manifest["wallclock"]["seconds"] >= 0
+        assert manifest["world"]["n_edge"] == 30
+        assert manifest["run"]["sent"] > 0
+        assert manifest["metrics"]["prober.sent"]["value"] == manifest["run"]["sent"]
+        # Telemetry changed nothing: the records match a plain run.
+        plain = str(tmp_path / "plain.yrp6")
+        run(["probe", "--world", world_file, "--targets", targets_path, "--out", plain])
+        assert open(results).read() == open(plain).read()
+
+    def test_probe_workers_metrics_manifest_is_merged(self, world_file, tmp_path):
+        from repro.obs import read_manifest
+
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        manifest_path = str(tmp_path / "par.manifest.json")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--workers", "2",
+                "--out", str(tmp_path / "par.yrp6"),
+                "--metrics", manifest_path,
+            ]
+        )
+        assert code == 0, text
+        manifest = read_manifest(manifest_path)
+        assert manifest["run"]["workers"] == 2
+        metrics = manifest["metrics"]
+        assert metrics["prober.sent"]["value"] == manifest["run"]["sent"]
+        # Per-process diagnostics are dropped from the merged dump.
+        assert not any(name.startswith("engine.") for name in metrics)
+
+    def test_stats_renders_manifest(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        manifest_path = str(tmp_path / "m.json")
+        run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", str(tmp_path / "r.yrp6"),
+                "--metrics", manifest_path,
+            ]
+        )
+        code, text = run(["stats", manifest_path])
+        assert code == 0
+        assert "seed" in text
+        assert "wall seconds" in text
+        assert "prober.sent" in text
+        assert "campaign.sent" in text  # the series table
+
+    def test_stats_rejects_missing_or_malformed(self, tmp_path):
+        code, text = run(["stats", str(tmp_path / "nope.json")])
+        assert code == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "other/1"}\n')
+        code, text = run(["stats", str(bad)])
+        assert code == 2
+        assert "repro-manifest/1" in text
+
     def test_subnets_requires_world(self, world_file, tmp_path):
         seeds_path = str(tmp_path / "s")
         run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])

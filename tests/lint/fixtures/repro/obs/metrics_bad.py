@@ -1,0 +1,18 @@
+"""DET001 fixture: instrumented simulation code still cannot read wall
+time — the exemption is for ``repro.obs.wallclock`` alone, and this
+file's path-derived module is ``repro.obs.metrics_bad``.
+"""
+
+import time
+
+
+class SneakyCounter:
+    """A metric that smuggles host time into a dump."""
+
+    def __init__(self):
+        self.value = 0
+        self.started = 0.0
+
+    def inc(self):
+        self.value += 1
+        self.started = time.time()  # flagged: not the boundary module

@@ -1,0 +1,22 @@
+"""DET001 fixture: the allowlisted wall-clock boundary.
+
+The path under ``fixtures/repro/obs/`` derives the module name
+``repro.obs.wallclock``, which DET001 exempts from wall-clock reads —
+but the exemption covers exactly the time subset: entropy sources stay
+banned even here.
+"""
+
+import os
+import time
+
+
+def now():
+    return time.perf_counter()  # exempt: the one allowlisted boundary
+
+
+def stamp():
+    return time.time_ns()  # exempt: still a wall-clock read
+
+
+def entropy():
+    return os.urandom(8)  # flagged: entropy is never exempt

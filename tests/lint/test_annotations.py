@@ -1,7 +1,7 @@
 """Annotation-coverage gate for the strictly-typed packages.
 
 CI runs mypy with ``disallow_untyped_defs`` over ``repro.prober``,
-``repro.netsim`` and ``repro.packet`` (see ``[tool.mypy]`` in
+``repro.netsim``, ``repro.packet`` and ``repro.obs`` (see ``[tool.mypy]`` in
 pyproject.toml).  mypy is not available in every development container,
 so this test enforces the cheap structural half of that contract
 locally: every function and method in those packages must annotate all
@@ -18,7 +18,7 @@ import pytest
 SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
 
 #: Packages under the strict-typing contract.
-STRICT_PACKAGES = ("prober", "netsim", "packet")
+STRICT_PACKAGES = ("prober", "netsim", "packet", "obs")
 
 #: Implicit first parameters that need no annotation.
 IMPLICIT_FIRST = {"self", "cls"}

@@ -56,6 +56,28 @@ class TestDET001:
         )
         assert lint_source(source) == []
 
+    def test_wallclock_boundary_time_reads_exempt_entropy_not(self):
+        violations = lint_file(fixture_path("repro", "obs", "wallclock.py"))
+        # The two time reads pass; the os.urandom on line 22 still fires.
+        assert lines_for(violations, "DET001") == [22]
+        assert "os.urandom" in violations[0].message
+
+    def test_instrumented_sim_code_cannot_read_wall_time(self):
+        violations = lint_file(fixture_path("repro", "obs", "metrics_bad.py"))
+        assert lines_for(violations, "DET001") == [18]
+        assert "time.time" in violations[0].message
+
+    def test_exemption_is_module_scoped_not_path_substring(self):
+        source = "import time\nx = time.time()\n"
+        assert lint_source(source, module="repro.obs.wallclock") == []
+        flagged = lint_source(source, module="repro.obs.metrics")
+        assert lines_for(flagged, "DET001") == [2]
+
+    def test_real_wallclock_module_is_clean(self):
+        from repro.obs import wallclock
+
+        assert lint_file(wallclock.__file__) == []
+
 
 class TestDET002:
     def test_fixture_lines(self):

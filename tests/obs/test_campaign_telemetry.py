@@ -1,0 +1,265 @@
+"""Campaign-level telemetry: instrumentation changes nothing, dumps agree
+with the result counters, and merged dumps are shard-count-invariant.
+
+The load-bearing claims from docs/observability.md under test here:
+
+* Running a campaign with a live registry and tracer produces the exact
+  same records, interfaces, and duration as an uninstrumented run.
+* The telemetry alone reconstructs the paper's curves: ``campaign.sent``
+  and ``campaign.discovery`` give Figure 7's discovery-over-probes
+  curve, ``ratelimit.denied`` gives Figure 5's loss.
+* For decoupled worlds, ``run_parallel``'s merged dump is byte-identical
+  for shards in {1, 2, 4} — the same contract the records obey.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    Internet,
+    InternetConfig,
+    build_internet,
+    decoupled_dynamics,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    dump_to_json,
+    series_cumulative,
+    series_points,
+)
+from repro.prober import (
+    CampaignSpec,
+    run_parallel,
+    run_sequential,
+    run_single,
+    run_yarrp6,
+)
+
+_WORLDS = {}
+
+
+def small_world(seed, decoupled=True):
+    """A tiny world plus its leaf-host targets, cached per (seed, mode)."""
+    key = (seed, decoupled)
+    if key not in _WORLDS:
+        config = InternetConfig(
+            seed=seed,
+            n_edge=6,
+            n_tier2=3,
+            n_cpe_isps=1,
+            cpe_customers_per_isp=12,
+        )
+        if decoupled:
+            config = decoupled_dynamics(config)
+        built = build_internet(config)
+        targets = tuple(
+            subnet.prefix.base | 1 for subnet in built.truth.subnets.values()
+        )
+        _WORLDS[key] = (config, targets)
+    return _WORLDS[key]
+
+
+def record_key(record):
+    return (
+        record.target,
+        record.ttl,
+        record.hop,
+        record.rtt_us,
+        record.received_at,
+    )
+
+
+def series_total(dump, name):
+    return sum(value for _, value in series_points(dump, name))
+
+
+class TestInstrumentationIsInert:
+    """Telemetry observes the run; it must never steer it."""
+
+    def test_results_identical_with_and_without_registry(self):
+        config, targets = small_world(3)
+        plain = run_yarrp6(Internet.from_config(config), "US-EDU-1", targets, pps=900.0)
+        instrumented = run_yarrp6(
+            Internet.from_config(config),
+            "US-EDU-1",
+            targets,
+            pps=900.0,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+        assert plain.metrics is None
+        assert instrumented.metrics is not None
+        assert instrumented.sent == plain.sent
+        assert [record_key(r) for r in instrumented.records] == [
+            record_key(r) for r in plain.records
+        ]
+        assert instrumented.interfaces == plain.interfaces
+        assert instrumented.curve == plain.curve
+        assert instrumented.duration_us == plain.duration_us
+
+    def test_internet_detached_after_campaign(self):
+        config, targets = small_world(3)
+        internet = Internet.from_config(config)
+        run_yarrp6(internet, "US-EDU-1", targets, pps=900.0, metrics=MetricsRegistry())
+        for router in internet.truth.routers.values():
+            assert router.limiter.observer is None
+
+
+class TestDumpAgreesWithResult:
+    def test_counters_match_headline_numbers(self):
+        config, targets = small_world(3)
+        result = run_yarrp6(
+            Internet.from_config(config),
+            "US-EDU-1",
+            targets,
+            pps=900.0,
+            metrics=MetricsRegistry(),
+        )
+        dump = result.metrics
+        assert dump["prober.sent"]["value"] == result.sent
+        assert series_total(dump, "campaign.sent") == result.sent
+        assert dump["prober.responses"]["value"] == len(result.records)
+        # Engine diagnostics ride along in a single-process dump...
+        assert dump["engine.events_fired"]["value"] > 0
+        assert dump["engine.queue_depth"]["kind"] == "gauge"
+
+    def test_fig7_discovery_curve_reconstructed_from_telemetry(self):
+        config, targets = small_world(3)
+        result = run_yarrp6(
+            Internet.from_config(config),
+            "US-EDU-1",
+            targets,
+            pps=900.0,
+            metrics=MetricsRegistry(),
+        )
+        curve = series_cumulative(result.metrics, "campaign.discovery")
+        assert curve, "discovery series recorded"
+        counts = [count for _, count in curve]
+        assert counts == sorted(counts)  # cumulative by construction
+        assert counts[-1] == len(result.interfaces)
+        # The per-TTL yield partition covers every time-exceeded record.
+        ttl_yield = dict(
+            (key, value)
+            for key, value in result.metrics["prober.ttl_yield"]["values"]
+        )
+        assert sum(ttl_yield.values()) == sum(
+            1 for record in result.records if record.is_time_exceeded
+        )
+
+    def test_fig5_loss_matches_ground_truth_rate_limiting(self):
+        # A *coupled* world: the routers' ICMPv6 token buckets really
+        # drain, and every denial the telemetry records must be one the
+        # ground-truth internet counted.
+        config, targets = small_world(11, decoupled=False)
+        internet = Internet.from_config(config)
+        result = run_sequential(
+            internet, "US-EDU-1", targets, pps=2000.0, metrics=MetricsRegistry()
+        )
+        denied = series_total(result.metrics, "ratelimit.denied")
+        assert denied == internet.stats.rate_limited
+        assert denied > 0, "2 kpps sequential should trip the limiters"
+        # Every time-exceeded record passed a limiter; echo replies from
+        # end hosts never consult one, so allowed can be below len(records).
+        allowed = series_total(result.metrics, "ratelimit.allowed")
+        assert allowed >= sum(
+            1 for record in result.records if record.is_time_exceeded
+        )
+
+
+class TestSpans:
+    def test_trace_is_strictly_nested_and_named(self):
+        config, targets = small_world(3)
+        tracer = Tracer()
+        run_yarrp6(
+            Internet.from_config(config),
+            "US-EDU-1",
+            targets[:8],
+            pps=900.0,
+            tracer=tracer,
+        )
+        tracer.validate()
+        names = {span.name for span in tracer.spans}
+        assert {"campaign", "tick", "emit", "probe"} <= names
+        roots = [span for span in tracer.spans if span.parent == -1]
+        assert [span.name for span in roots] == ["campaign"]
+        campaign = roots[0]
+        assert campaign.end_us >= max(span.end_us for span in tracer.spans)
+
+    def test_trace_dump_is_deterministic(self):
+        config, targets = small_world(3)
+
+        def trace_once():
+            tracer = Tracer()
+            run_yarrp6(
+                Internet.from_config(config),
+                "US-EDU-1",
+                targets[:8],
+                pps=900.0,
+                tracer=tracer,
+            )
+            return tracer.dumps()
+
+        assert trace_once() == trace_once()
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_merged_dump_matches_single_shard(self, shards):
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:30],
+            pps=900.0,
+            metrics=True,
+        )
+        reference = run_parallel(spec, shards=1)
+        merged = run_parallel(spec, shards=shards)
+        assert merged.metrics is not None
+        assert dump_to_json(merged.metrics) == dump_to_json(reference.metrics)
+        # Run-scoped diagnostics never leak into the merged dump.
+        assert not any(name.startswith("engine.") for name in merged.metrics)
+
+    def test_merged_discovery_matches_single_process_curve(self):
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:30],
+            pps=900.0,
+            metrics=True,
+        )
+        single = run_single(spec)
+        merged = run_parallel(spec, shards=4)
+        assert series_cumulative(
+            merged.metrics, "campaign.discovery"
+        ) == series_cumulative(single.metrics, "campaign.discovery")
+        final = series_cumulative(merged.metrics, "campaign.discovery")[-1][1]
+        assert final == len(merged.interfaces)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=30))
+    def test_property_dump_bytes_invariant_across_shards(self, seed):
+        config, targets = small_world(seed)
+        spec = CampaignSpec(
+            internet=config,
+            vantage="US-EDU-1",
+            targets=targets[:20],
+            pps=1100.0,
+            metrics=True,
+        )
+        dumps = {
+            shards: dump_to_json(run_parallel(spec, shards=shards).metrics)
+            for shards in (1, 2, 4)
+        }
+        assert dumps[1] == dumps[2] == dumps[4]
+
+    def test_metrics_off_by_default(self):
+        config, targets = small_world(7)
+        spec = CampaignSpec(
+            internet=config, vantage="US-EDU-1", targets=targets[:10], pps=900.0
+        )
+        assert run_parallel(spec, shards=2).metrics is None
+        assert run_single(spec).metrics is None

@@ -138,6 +138,14 @@ class TestRobustness:
         with pytest.raises(OutputError):
             write_records(buffer, [], metadata={"bad": "a\nb"})
 
+    def test_multiline_metadata_key_rejected(self):
+        # A newline in the *key* would also break the line-oriented header
+        # (regression: only values used to be validated).
+        buffer = io.StringIO()
+        with pytest.raises(OutputError):
+            write_records(buffer, [], metadata={"a\nb": "fine"})
+        assert buffer.getvalue().count("\n") <= 1  # nothing partial written
+
     def test_unknown_metadata_preserved(self):
         text = "# %s\n# custom-key: custom-value\n" % FORMAT_VERSION
         loaded = loads(text)
