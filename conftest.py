@@ -1,0 +1,10 @@
+"""Repository-root pytest configuration.
+
+Registers the DetSan plugin (``pytest --detsan`` runs every test inside
+the runtime determinism sanitizer — see ``repro.lint.detsan``).  The
+plugin lives in the package so it is importable wherever ``repro`` is;
+registering it here (the rootdir conftest) keeps ``pytest`` invocations
+from any subdirectory consistent.
+"""
+
+pytest_plugins = ["repro.lint.detsan_pytest"]

@@ -53,7 +53,8 @@ from ..prober import (
     run_sequential,
     run_yarrp6,
 )
-from ..prober.output import load_campaign, save_campaign
+from ..lint.detsan import DetSan, hash_seed_pinned
+from ..prober.output import dumps, load_campaign, save_campaign
 from ..seeds import build_all_seeds
 from .worldcfg import load_config, save_config
 
@@ -156,34 +157,68 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
         return 2
     workers = getattr(args, "workers", 1)
     metrics_path = getattr(args, "metrics", None)
+    detsan = getattr(args, "detsan", False)
     # The stopwatch is the run's only wall-clock read (top-level boundary,
     # reporting only — see repro.obs.wallclock); it never touches the sim.
     stopwatch = Stopwatch() if metrics_path else None
     with open(args.world) as source:
         world_config = load_config(source)
-    if workers > 1:
-        if args.prober != "yarrp6":
-            out.write("--workers requires the yarrp6 prober (stateless shards)\n")
-            return 2
-        spec = CampaignSpec(
-            internet=world_config,
-            vantage=args.vantage,
-            targets=tuple(targets),
-            pps=args.pps,
-            config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
-            metrics=metrics_path is not None,
-        )
-        result = run_parallel(spec, shards=workers)
-    else:
+    if workers > 1 and args.prober != "yarrp6":
+        out.write("--workers requires the yarrp6 prober (stateless shards)\n")
+        return 2
+
+    def run_once():
+        if workers > 1:
+            spec = CampaignSpec(
+                internet=world_config,
+                vantage=args.vantage,
+                targets=tuple(targets),
+                pps=args.pps,
+                config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
+                metrics=metrics_path is not None,
+            )
+            return run_parallel(spec, shards=workers)
         internet = Internet.from_config(world_config)
         runner = _PROBERS[args.prober]
         kwargs = {}
         if args.prober == "yarrp6":
             kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
         registry = MetricsRegistry() if metrics_path else None
-        result = runner(
+        return runner(
             internet, args.vantage, targets, pps=args.pps, metrics=registry, **kwargs
         )
+
+    if detsan:
+        # Dynamic cross-check of the static determinism rules: run the
+        # campaign under the sanitizer (record mode — finish the run,
+        # collect every tripwire hit), then rerun clean and demand a
+        # byte-identical dump.
+        if not hash_seed_pinned():
+            out.write(
+                "--detsan requires PYTHONHASHSEED pinned to a fixed integer "
+                "(hash randomization is per-process nondeterminism)\n"
+            )
+            return 2
+        with DetSan(mode="record", scope="repro") as sanitizer:
+            instrumented = run_once()
+        result = run_once()
+        if sanitizer.reports:
+            for report in sanitizer.reports[:20]:
+                out.write("detsan: %s\n" % report.summary())
+            out.write(
+                "detsan: %d nondeterminism report(s) — campaign is outside "
+                "the determinism contract\n" % len(sanitizer.reports)
+            )
+            return 1
+        if dumps(instrumented) != dumps(result):
+            out.write(
+                "detsan: instrumented dump differs from clean rerun — "
+                "sanitizer instrumentation perturbed the campaign\n"
+            )
+            return 1
+        out.write("detsan: clean (0 reports, dump byte-identical to rerun)\n")
+    else:
+        result = run_once()
     rows = save_campaign(args.out, result)
     out.write(
         "%s from %s: %d probes, %d responses, %d interfaces; %d rows -> %s\n"
@@ -351,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSON run manifest (spec, seed, metric dump, wall time) "
         "to PATH alongside the .yrp6 output",
+    )
+    probe.add_argument(
+        "--detsan",
+        action="store_true",
+        help="run under the DetSan determinism sanitizer: record any host "
+        "time/entropy reads, rerun clean, and require a byte-identical "
+        "dump (requires pinned PYTHONHASHSEED; exit 1 on any report)",
     )
     probe.add_argument("--out", required=True)
     probe.set_defaults(handler=cmd_probe)

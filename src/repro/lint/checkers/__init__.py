@@ -1,3 +1,3 @@
 """Built-in checkers; importing this package registers every rule."""
 
-from . import det001, det002, det003, pkt001  # noqa: F401
+from . import det001, det002, det003, lnt001, pkt001  # noqa: F401

@@ -1,0 +1,109 @@
+"""LNT001: unused lint suppressions (the ``warn_unused_ignores`` analogue).
+
+Suppression comments are a reviewed audit trail; one that no longer
+fires is worse than dead code — it asserts a determinism exception that
+the code stopped needing, and it will silently swallow a *future*
+violation on that line.  This rule reports:
+
+* ``# repro-lint: disable=RULE`` lines where RULE ran but produced no
+  violation on that line;
+* ``# repro-lint: disable-file=RULE`` declarations that suppressed
+  nothing anywhere in the file;
+* ``# lint: ordered`` annotations on lines where DET002 ran and found
+  no set iteration to excuse;
+* suppressions naming rule ids the toolchain does not know (typos).
+
+A suppression for a rule that did *not* run (deselected via
+``--select``, scoped out by ``interested()``, or a whole-program rule
+in a per-file-only invocation) is left alone: its usefulness was not
+judgeable on this run.
+
+LNT001 runs in the post phase — after every file rule and, in the CLI
+driver, after the whole-program pass — so usage recorded by any rule
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core import Checker, LintContext, Violation, register
+
+#: Rule whose usage governs ``# lint: ordered`` annotations.
+ORDERED_RULE = "DET002"
+
+
+@register
+class UnusedSuppressions(Checker):
+    rule = "LNT001"
+    description = (
+        "warns on unused '# repro-lint: disable=' / '# lint: ordered' "
+        "suppressions and on suppressions naming unknown rules"
+    )
+    phase = "post"
+
+    def check(self, context: LintContext) -> Iterable[Violation]:
+        if not context.known_rules:
+            # Syntax-error files carry no rule inventory; nothing ran,
+            # so no suppression is judgeable.
+            return
+        suppressions = context.suppressions
+        any_ran = bool(context.ran_rules - {self.rule})
+        for line in sorted(suppressions.disabled_lines):
+            for token in sorted(suppressions.disabled_lines[line]):
+                yield from self._judge(
+                    context, line, token, (line, token) in suppressions.used_lines,
+                    any_ran, "disable=%s" % token,
+                )
+        for token in sorted(suppressions.disabled_file):
+            line = suppressions.disabled_file[token]
+            yield from self._judge(
+                context, line, token, token in suppressions.used_file,
+                any_ran, "disable-file=%s" % token,
+            )
+        if ORDERED_RULE in context.ran_rules:
+            for line in sorted(suppressions.ordered_lines):
+                if line not in suppressions.used_ordered:
+                    yield self._at(
+                        context, line,
+                        "unused '# lint: ordered' annotation: %s found no set "
+                        "iteration on this line" % ORDERED_RULE,
+                    )
+
+    def _judge(
+        self,
+        context: LintContext,
+        line: int,
+        token: str,
+        used: bool,
+        any_ran: bool,
+        what: str,
+    ) -> Iterable[Violation]:
+        if used:
+            return
+        if token == "all":
+            if any_ran:
+                yield self._at(
+                    context, line,
+                    "unused suppression '%s': no rule fired here" % what,
+                )
+            return
+        if token not in context.known_rules:
+            yield self._at(
+                context, line,
+                "suppression '%s' names an unknown rule (try --list-checkers)"
+                % what,
+            )
+            return
+        if token in context.ran_rules:
+            yield self._at(
+                context, line,
+                "unused suppression '%s': the rule ran and found nothing to "
+                "suppress here" % what,
+            )
+
+    def _at(self, context: LintContext, line: int, message: str) -> Violation:
+        return Violation(
+            rule=self.rule, path=context.path, line=line, column=1,
+            message=message,
+        )

@@ -2,12 +2,25 @@
 
 Usage::
 
-    repro-lint src/                      # lint a tree, human output
+    repro-lint src/                      # file rules + whole-program pass
     repro-lint --format json src/ > v.json
-    repro-lint --select DET002,PKT001 src/repro/prober
+    repro-lint --format sarif src/ > lint.sarif
+    repro-lint --select DET101,RNG101 src/repro
+    repro-lint --cache .lint-cache.json src/   # warm-start the analysis
     repro-lint --list-checkers
 
 Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+Driver pipeline (order matters for LNT001, the unused-suppression
+rule): file-phase checkers run per file; the whole-program pass
+(DET101/RNG101/OBS101) runs over every linted file at once, filtering
+its findings through the *same* per-file suppression objects so usage
+is recorded; post-phase checkers (LNT001) then judge the suppressions;
+finally everything is merged and sorted by (path, line, rule-id) —
+identical order in text, JSON and SARIF output.
+
+The facts cache is opt-in (``--cache PATH``): the default invocation
+writes nothing to disk.
 """
 
 from __future__ import annotations
@@ -15,9 +28,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence, TextIO
+from typing import Dict, List, Optional, Sequence, TextIO
 
-from .core import Violation, all_checkers, lint_paths
+from . import program as program_mod
+from .core import (
+    FileLint,
+    Violation,
+    all_checkers,
+    finish_lint,
+    iter_python_files,
+    lint_source_state,
+    violation_sort_key,
+)
+from .program.cache import FactsCache
+from .sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -39,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip the whole-program pass (DET101/RNG101/OBS101)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSON facts cache for the whole-program pass (opt-in; "
+        "created/updated atomically)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis statistics (files, graph size, cache hits) "
+        "to stderr",
     )
     parser.add_argument(
         "--list-checkers",
@@ -71,15 +113,48 @@ def render_json(violations: Sequence[Violation], out: TextIO) -> None:
     )
 
 
+def _known_rules() -> Dict[str, str]:
+    """Every rule id -> description: file checkers + program rules."""
+    rules = {
+        rule: checker.description for rule, checker in all_checkers().items()
+    }
+    rules.update(program_mod.PROGRAM_RULES)
+    return rules
+
+
+def _run_program_pass(
+    states: Sequence[FileLint],
+    select: Optional[List[str]],
+    cache: Optional[FactsCache],
+) -> "tuple[List[Violation], program_mod.Program]":
+    sources = [
+        program_mod.SourceFile(
+            path=state.context.path,
+            module=state.context.module,
+            source=state.context.source,
+            suppressions=state.context.suppressions,
+        )
+        for state in states
+    ]
+    analyzed = program_mod.analyze(sources, cache=cache)
+    violations = program_mod.run_rules(analyzed, select=select)
+    by_path = {state.context.path: state for state in states}
+    for path, ran in analyzed.ran_rules.items():
+        state = by_path.get(path)
+        if state is not None:
+            state.context.ran_rules.update(ran)
+    return violations, analyzed
+
+
 def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    registry = all_checkers()
+    known = _known_rules()
     if args.list_checkers:
-        for rule in sorted(registry):
-            out.write("%s  %s\n" % (rule, registry[rule].description))
+        for rule in sorted(known):
+            out.write("%s  %s\n" % (rule, known[rule]))
         return 0
     if not args.paths:
         parser.print_usage(out)
@@ -88,7 +163,7 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
     select: Optional[List[str]] = None
     if args.select is not None:
         select = [piece.strip() for piece in args.select.split(",") if piece.strip()]
-        unknown = [rule for rule in select if rule not in registry]
+        unknown = [rule for rule in select if rule not in known]
         if unknown:
             out.write(
                 "unknown rule id(s): %s (try --list-checkers)\n"
@@ -96,14 +171,67 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
             )
             return 2
 
+    program_selected = (
+        not args.no_program
+        and (select is None or bool(set(select) & set(program_mod.PROGRAM_RULES)))
+    )
+
+    states: List[FileLint] = []
     try:
-        violations = lint_paths(args.paths, select=select)
+        for file_path in iter_python_files(args.paths):
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            state = lint_source_state(source, path=file_path, select=select)
+            state.context.known_rules.update(known)
+            states.append(state)
     except OSError as error:
         out.write("error: %s\n" % error)
         return 2
 
+    violations: List[Violation] = []
+    cache: Optional[FactsCache] = None
+    analyzed: Optional[program_mod.Program] = None
+    if program_selected:
+        cache = FactsCache(args.cache) if args.cache else None
+        program_violations, analyzed = _run_program_pass(states, select, cache)
+        by_path = {state.context.path: state for state in states}
+        for violation in program_violations:
+            state = by_path.get(violation.path)
+            if state is not None:
+                state.violations.append(violation)
+            else:  # pragma: no cover - program pass only sees linted files
+                violations.append(violation)
+        if cache is not None:
+            try:
+                cache.save()
+            except OSError as error:
+                out.write("error: could not write cache: %s\n" % error)
+                return 2
+
+    for state in states:
+        violations.extend(finish_lint(state, select))
+    violations.sort(key=violation_sort_key)
+
+    if args.stats:
+        if analyzed is not None:
+            sys.stderr.write(
+                "repro-lint: %d files, %d functions, %d call edges, "
+                "cache %d hit / %d miss\n"
+                % (
+                    len(states),
+                    len(analyzed.graph.nodes),
+                    analyzed.graph.edge_count,
+                    analyzed.cache_hits,
+                    analyzed.cache_misses,
+                )
+            )
+        else:
+            sys.stderr.write("repro-lint: %d files (file rules only)\n" % len(states))
+
     if args.format == "json":
         render_json(violations, out)
+    elif args.format == "sarif":
+        render_sarif(violations, known, out)
     else:
         render_text(violations, out)
     return 1 if violations else 0

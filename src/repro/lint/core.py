@@ -27,7 +27,7 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 #: ``# lint: ordered`` — DET002's "this iteration is deterministic" mark.
 ORDERED_COMMENT = re.compile(r"#\s*lint:\s*ordered\b")
@@ -65,18 +65,27 @@ class Suppressions:
     Comments are read with :mod:`tokenize`, not substring search, so a
     ``# repro-lint: ...`` inside a string literal does not suppress
     anything.
+
+    Every query *records* which declarations it consumed, so LNT001 can
+    report suppressions that never fired (the ``warn_unused_ignores``
+    analogue — see :mod:`repro.lint.checkers.lnt001`).
     """
 
     def __init__(self, source: str):
         self.ordered_lines: Set[int] = set()
         self.disabled_lines: Dict[int, Set[str]] = {}
-        self.disabled_file: Set[str] = set()
+        #: rule token -> line of the first ``disable-file=`` declaring it.
+        self.disabled_file: Dict[str, int] = {}
+        self.used_ordered: Set[int] = set()
+        self.used_lines: Set[Tuple[int, str]] = set()
+        self.used_file: Set[str] = set()
         for comment, line in _iter_comments(source):
             if ORDERED_COMMENT.search(comment):
                 self.ordered_lines.add(line)
             match = _DISABLE_FILE.search(comment)
             if match:
-                self.disabled_file.update(_parse_rules(match.group(1)))
+                for rule in _parse_rules(match.group(1)):
+                    self.disabled_file.setdefault(rule, line)
                 continue
             match = _DISABLE_LINE.search(comment)
             if match:
@@ -84,13 +93,24 @@ class Suppressions:
                 rules.update(_parse_rules(match.group(1)))
 
     def is_ordered(self, line: int) -> bool:
-        return line in self.ordered_lines
+        if line in self.ordered_lines:
+            self.used_ordered.add(line)
+            return True
+        return False
 
     def is_disabled(self, rule: str, line: int) -> bool:
-        if rule in self.disabled_file or "all" in self.disabled_file:
-            return True
+        hit = False
+        for token in (rule, "all"):
+            if token in self.disabled_file:
+                self.used_file.add(token)
+                hit = True
         rules = self.disabled_lines.get(line)
-        return rules is not None and (rule in rules or "all" in rules)
+        if rules:
+            for token in (rule, "all"):
+                if token in rules:
+                    self.used_lines.add((line, token))
+                    hit = True
+        return hit
 
 
 def _parse_rules(text: str) -> List[str]:
@@ -121,6 +141,14 @@ class LintContext:
     tree: ast.Module
     suppressions: Suppressions
     lines: List[str] = field(default_factory=list)
+    #: Rules that actually ran on this file (selected and interested),
+    #: including whole-program rules when the CLI driver ran them.
+    #: Post-phase checkers (LNT001) read this to decide which
+    #: suppressions were judgeable.
+    ran_rules: Set[str] = field(default_factory=set)
+    #: Every rule id the toolchain knows (registry + program rules), so
+    #: LNT001 can distinguish "unused" from "unknown rule" suppressions.
+    known_rules: Set[str] = field(default_factory=set)
 
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -134,10 +162,15 @@ class Checker:
     Subclasses set :attr:`rule` (the stable id reported to users) and
     :attr:`description`, and implement :meth:`check`.  Suppression
     filtering happens in the runner — checkers yield every candidate.
+
+    ``phase`` is ``"file"`` for ordinary AST rules; ``"post"`` checkers
+    run after every file rule (and any whole-program pass) so they can
+    inspect what the earlier rules consumed — LNT001 is the only one.
     """
 
     rule: str = ""
     description: str = ""
+    phase: str = "file"
 
     def interested(self, context: LintContext) -> bool:
         """Whether this checker applies to ``context`` at all (cheap
@@ -192,17 +225,49 @@ def _module_path(path: str) -> str:
     return ".".join(pieces)
 
 
-def lint_source(
+#: Deterministic output order: (path, line, rule-id, column) — documented
+#: in docs/determinism.md, identical for text, JSON and SARIF output.
+def violation_sort_key(violation: Violation) -> Tuple[str, int, str, int]:
+    return (violation.path, violation.line, violation.rule, violation.column)
+
+
+@dataclass
+class FileLint:
+    """Per-file lint state: the context plus what fired and what ran.
+
+    The CLI driver keeps these alive across the whole-program pass so
+    program-rule suppressions and LNT001 see one consistent view.
+    """
+
+    context: LintContext
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.context.path
+
+
+def lint_source_state(
     source: str,
     path: str = "<string>",
     select: Optional[Sequence[str]] = None,
     module: Optional[str] = None,
-) -> List[Violation]:
-    """Lint python source text; the library core every entry point uses."""
+) -> FileLint:
+    """Run the file-phase checkers and return resumable state (no
+    post-phase rules yet; see :func:`finish_lint`)."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
+        context = LintContext(
+            path=path,
+            module=module if module is not None else _module_path(path),
+            source=source,
+            tree=ast.Module(body=[], type_ignores=[]),
+            suppressions=Suppressions(source),
+            lines=source.splitlines(),
+        )
+        state = FileLint(context=context)
+        state.violations.append(
             Violation(
                 rule="E999",
                 path=path,
@@ -210,7 +275,8 @@ def lint_source(
                 column=(error.offset or 0) + 1,
                 message="syntax error: %s" % (error.msg or "unparseable"),
             )
-        ]
+        )
+        return state
     context = LintContext(
         path=path,
         module=module if module is not None else _module_path(path),
@@ -219,26 +285,71 @@ def lint_source(
         suppressions=Suppressions(source),
         lines=source.splitlines(),
     )
+    context.known_rules.update(_REGISTRY)
+    state = FileLint(context=context)
     chosen = _REGISTRY if select is None else {
         rule: _REGISTRY[rule] for rule in select if rule in _REGISTRY
     }
-    violations: List[Violation] = []
-    for checker_class in chosen.values():
+    for rule in sorted(chosen):
+        checker_class = chosen[rule]
+        if checker_class.phase != "file":
+            continue
         checker = checker_class()
         if not checker.interested(context):
             continue
+        context.ran_rules.add(rule)
         for violation in checker.check(context):
             if context.suppressions.is_disabled(violation.rule, violation.line):
                 continue
-            violations.append(violation)
-    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
-    return violations
+            state.violations.append(violation)
+    return state
+
+
+def finish_lint(
+    state: FileLint, select: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run post-phase checkers (LNT001) on completed state, then sort."""
+    chosen = _REGISTRY if select is None else {
+        rule: _REGISTRY[rule] for rule in select if rule in _REGISTRY
+    }
+    for rule in sorted(chosen):
+        checker_class = chosen[rule]
+        if checker_class.phase != "post":
+            continue
+        checker = checker_class()
+        if not checker.interested(state.context):
+            continue
+        state.context.ran_rules.add(rule)
+        for violation in checker.check(state.context):
+            if state.context.suppressions.is_disabled(violation.rule, violation.line):
+                continue
+            state.violations.append(violation)
+    state.violations.sort(key=violation_sort_key)
+    return state.violations
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    module: Optional[str] = None,
+) -> List[Violation]:
+    """Lint python source text; the library core every entry point uses."""
+    return finish_lint(lint_source_state(source, path, select, module), select)
 
 
 def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Violation]:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     return lint_source(source, path=path, select=select)
+
+
+def lint_file_state(
+    path: str, select: Optional[Sequence[str]] = None
+) -> FileLint:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source_state(source, path=path, select=select)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -262,4 +373,5 @@ def lint_paths(
     violations: List[Violation] = []
     for file_path in iter_python_files(paths):
         violations.extend(lint_file(file_path, select=select))
+    violations.sort(key=violation_sort_key)
     return violations

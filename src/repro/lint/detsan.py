@@ -1,0 +1,234 @@
+"""DetSan — the runtime determinism sanitizer.
+
+The static rules (DET001/DET101/RNG101) prove what the *parsed* program
+can reach; DetSan checks what the *running* program actually touches.
+Inside a ``DetSan`` region every banned nondeterminism source —
+wall-clock reads, the module-level ``random`` API, ``os.urandom``,
+``uuid.uuid1/uuid4``, ``secrets`` — is patched to a tripwire that
+records the offending call with its caller and stack, and (in
+``raise`` mode) aborts on the spot::
+
+    with DetSan(mode="raise", scope="repro"):
+        result = run_campaign(...)        # trips on any entropy read
+
+Scoping: with ``scope="repro"`` only calls *from* ``repro.*`` modules
+trip; the test harness, ``multiprocessing`` internals, and third-party
+code pass through to the real functions.  Two standing exemptions
+mirror the static rules:
+
+* wall-clock reads from ``repro.obs.wallclock`` (the single allowlisted
+  boundary — see :data:`WALLCLOCK_MODULE`);
+* this module itself (so nested regions and the pytest plugin can
+  manage patches while one is active).
+
+``mode="record"`` logs instead of raising — the ``probe --detsan`` flag
+uses it to run a full campaign under instrumentation and then verify
+the dump is byte-identical to a clean rerun.
+
+Patching is LIFO-restored and re-entrant; ``require_hash_seed=True``
+additionally asserts ``PYTHONHASHSEED`` is pinned to a fixed integer
+before entering (hash randomization is process-global nondeterminism no
+monkeypatch can intercept).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import secrets
+import sys
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+#: The one module whose *time* reads pass through even in scope="repro"
+#: (kept in sync with repro.lint.checkers.det001.WALLCLOCK_EXEMPT_MODULES).
+WALLCLOCK_MODULE = "repro.obs.wallclock"
+
+#: Caller-module prefixes that always pass through: DetSan's own
+#: machinery must be able to run while patched.
+_SELF_PREFIX = "repro.lint.detsan"
+
+_TIME_FUNCS = (
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+)
+
+_RANDOM_FUNCS = (
+    "random",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "lognormvariate",
+    "normalvariate",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "seed",
+)
+
+_OS_FUNCS = ("urandom", "getrandom")
+_UUID_FUNCS = ("uuid1", "uuid4")
+_SECRETS_FUNCS = ("token_bytes", "token_hex", "token_urlsafe", "randbelow", "randbits", "choice")
+
+
+class DetSanViolation(RuntimeError):
+    """A banned nondeterminism source was called inside a DetSan region."""
+
+
+class DetSanUsageError(RuntimeError):
+    """DetSan itself was misconfigured (e.g. PYTHONHASHSEED not pinned)."""
+
+
+@dataclass
+class DetSanReport:
+    """One recorded tripwire hit."""
+
+    kind: str  # "time" | "random" | "entropy"
+    target: str  # e.g. "time.perf_counter"
+    caller: str  # __name__ of the calling module
+    stack: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return "%s %s called from %s" % (self.kind, self.target, self.caller)
+
+
+def hash_seed_pinned() -> bool:
+    """Whether this interpreter was started with a pinned PYTHONHASHSEED.
+
+    ``PYTHONHASHSEED`` must be present in the environment and be a fixed
+    integer — absent or ``"random"`` both mean ``hash(str)`` varies per
+    process, which no runtime patch can repair.
+    """
+    value = os.environ.get("PYTHONHASHSEED", "")
+    if not value or value == "random":
+        return False
+    try:
+        int(value)
+    except ValueError:
+        return False
+    return True
+
+
+class DetSan:
+    """Context manager installing the nondeterminism tripwires."""
+
+    def __init__(
+        self,
+        mode: str = "raise",
+        scope: str = "repro",
+        require_hash_seed: bool = False,
+        max_stack_frames: int = 12,
+    ):
+        if mode not in ("raise", "record"):
+            raise DetSanUsageError("mode must be 'raise' or 'record', got %r" % mode)
+        if scope not in ("repro", "all"):
+            raise DetSanUsageError("scope must be 'repro' or 'all', got %r" % scope)
+        self.mode = mode
+        self.scope = scope
+        self.require_hash_seed = require_hash_seed
+        self.max_stack_frames = max_stack_frames
+        self.reports: List[DetSanReport] = []
+        self._patched: List[Tuple[Any, str, Any]] = []  # LIFO restore stack
+
+    # -- patch machinery ---------------------------------------------------
+
+    def __enter__(self) -> "DetSan":
+        if self.require_hash_seed and not hash_seed_pinned():
+            raise DetSanUsageError(
+                "DetSan(require_hash_seed=True): PYTHONHASHSEED must be set "
+                "to a fixed integer (found %r)"
+                % os.environ.get("PYTHONHASHSEED", "<unset>")
+            )
+        try:
+            self._patch_module(time, "time", _TIME_FUNCS, "time")
+            self._patch_module(random, "random", _RANDOM_FUNCS, "random")
+            self._patch_module(os, "os", _OS_FUNCS, "entropy")
+            self._patch_module(uuid, "uuid", _UUID_FUNCS, "entropy")
+            self._patch_module(secrets, "secrets", _SECRETS_FUNCS, "entropy")
+        except Exception:
+            self._restore()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._restore()
+
+    def _patch_module(
+        self, module: Any, module_name: str, names: Tuple[str, ...], kind: str
+    ) -> None:
+        for name in names:
+            original = getattr(module, name, None)
+            if original is None or not callable(original):
+                continue
+            wrapper = self._make_wrapper(
+                original, "%s.%s" % (module_name, name), kind
+            )
+            self._patched.append((module, name, original))
+            setattr(module, name, wrapper)
+
+    def _restore(self) -> None:
+        while self._patched:
+            module, name, original = self._patched.pop()
+            setattr(module, name, original)
+
+    def _make_wrapper(
+        self, original: Callable[..., Any], target: str, kind: str
+    ) -> Callable[..., Any]:
+        sanitizer = self
+
+        def tripwire(*args: Any, **kwargs: Any) -> Any:
+            caller = sys._getframe(1).f_globals.get("__name__", "")
+            if not sanitizer._trips(caller, kind):
+                return original(*args, **kwargs)
+            report = DetSanReport(
+                kind=kind,
+                target=target,
+                caller=caller,
+                stack=traceback.format_stack(
+                    sys._getframe(1), limit=sanitizer.max_stack_frames
+                ),
+            )
+            sanitizer.reports.append(report)
+            if sanitizer.mode == "raise":
+                raise DetSanViolation(
+                    "DetSan: %s — banned inside a determinism-sanitized "
+                    "region (see repro.lint.detsan; the seeded/virtual-clock "
+                    "alternatives are documented in docs/determinism.md)"
+                    % report.summary()
+                )
+            return original(*args, **kwargs)
+
+        tripwire.__name__ = getattr(original, "__name__", target)
+        tripwire.__detsan_original__ = original  # type: ignore[attr-defined]
+        return tripwire
+
+    def _trips(self, caller: str, kind: str) -> bool:
+        if caller.startswith(_SELF_PREFIX):
+            return False
+        if self.scope == "repro" and not (
+            caller == "repro" or caller.startswith("repro.")
+        ):
+            return False
+        if kind == "time" and caller == WALLCLOCK_MODULE:
+            return False
+        return True

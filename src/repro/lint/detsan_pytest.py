@@ -1,0 +1,44 @@
+"""Pytest plugin wiring DetSan into the test suite.
+
+Registered from the repository-root ``conftest.py``.  Opt in with::
+
+    PYTHONHASHSEED=0 pytest --detsan
+
+Every test body then runs inside ``DetSan(mode="raise", scope="repro")``:
+any ``repro.*`` code path that reads host time (outside
+``repro.obs.wallclock``) or OS entropy fails that test with a
+:class:`~repro.lint.detsan.DetSanViolation` carrying the offending
+stack.  Test code itself (``tests.*``) and third-party internals pass
+through — the contract is on the library, not on the harness.
+
+Only the test *call* phase is sanitized; fixtures and collection run
+unpatched so harness-level timing (e.g. hypothesis deadlines,
+tmp-path bookkeeping) is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.lint.detsan import DetSan
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--detsan",
+        action="store_true",
+        default=False,
+        help="run every test inside the DetSan determinism sanitizer "
+        "(repro.* code must not touch host time or OS entropy)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: "pytest.Item") -> Iterator[None]:
+    if item.config.getoption("--detsan"):
+        with DetSan(mode="raise", scope="repro"):
+            yield
+    else:
+        yield

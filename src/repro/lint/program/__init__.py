@@ -1,0 +1,151 @@
+"""``repro.lint.program`` — whole-program determinism analysis.
+
+The per-file checkers in :mod:`repro.lint.checkers` see one AST at a
+time; this layer parses the whole tree once, distills each file into
+cacheable facts (:mod:`.facts`), builds module-import and function-call
+graphs (:mod:`.graph`), and runs the interprocedural rules on them:
+
+* **DET101** — transitive impurity: nothing reachable from the engine /
+  prober / parallel-runner entry points may reach a DET001-banned
+  source through any call chain (:mod:`.det101`);
+* **RNG101** — RNG provenance: every ``random.Random`` seed must trace
+  to spec/world seed material, and no RNG object may cross the
+  ``CampaignSpec`` worker boundary (:mod:`.rng101`);
+* **OBS101** — telemetry observe-only: no dataflow from ``repro.obs``
+  readbacks into ``netsim``/``prober`` state (:mod:`.obs101`).
+
+Entry points: :func:`analyze` for an in-memory file set (the CLI driver
+shares its per-file :class:`~repro.lint.core.Suppressions` objects so
+suppression *usage* feeds LNT001), and :func:`lint_program_paths` as the
+standalone convenience used by tests and tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import (
+    Suppressions,
+    Violation,
+    _module_path,
+    iter_python_files,
+    violation_sort_key,
+)
+from . import det101, obs101, rng101
+from .cache import FactsCache
+from .facts import FACTS_VERSION, FileFacts, extract_facts  # noqa: F401  (re-export)
+from .graph import DEFAULT_ROOTS, ProgramGraph, build_graph  # noqa: F401
+
+#: rule id -> one-line description, mirrored into ``--list-checkers``.
+PROGRAM_RULES: Dict[str, str] = {
+    det101.RULE: det101.DESCRIPTION,
+    rng101.RULE: rng101.DESCRIPTION,
+    obs101.RULE: obs101.DESCRIPTION,
+}
+
+
+@dataclass
+class SourceFile:
+    """One file handed to the program analysis."""
+
+    path: str
+    module: str
+    source: str
+    suppressions: Suppressions
+
+
+@dataclass
+class Program:
+    """Analyzed program: facts per file plus the call graph."""
+
+    files: List[SourceFile]
+    facts: Dict[str, FileFacts]
+    graph: ProgramGraph
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: rules that ran, per path (OBS101 only where its scope applies).
+    ran_rules: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def analyze(
+    files: Sequence[SourceFile], cache: Optional[FactsCache] = None
+) -> Program:
+    facts: Dict[str, FileFacts] = {}
+    for item in files:
+        if cache is not None:
+            facts[item.path] = cache.facts_for(item.path, item.source, item.module)
+        else:
+            facts[item.path] = extract_facts(item.source, item.module)
+    graph = build_graph(sorted(facts.items()))
+    return Program(
+        files=list(files),
+        facts=facts,
+        graph=graph,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+def run_rules(
+    program: Program, select: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run the selected program rules, filtered through each file's
+    suppressions (usage is recorded on the shared objects, so LNT001
+    sees program-rule suppressions as used)."""
+    chosen = set(PROGRAM_RULES) if select is None else set(select) & set(PROGRAM_RULES)
+    suppressions = {item.path: item.suppressions for item in program.files}
+    raw: List[Violation] = []
+    for path in suppressions:
+        program.ran_rules.setdefault(path, set())
+    if det101.RULE in chosen:
+        raw.extend(det101.check(program.graph, suppressions))
+        for path in suppressions:
+            program.ran_rules[path].add(det101.RULE)
+    if rng101.RULE in chosen:
+        raw.extend(rng101.check(program.graph, program.facts))
+        for path in suppressions:
+            program.ran_rules[path].add(rng101.RULE)
+    if obs101.RULE in chosen:
+        raw.extend(obs101.check(program.facts))
+        for path, facts in program.facts.items():
+            if obs101.in_scope(facts.module):
+                program.ran_rules[path].add(obs101.RULE)
+    kept: List[Violation] = []
+    for violation in raw:
+        supp = suppressions.get(violation.path)
+        if supp is not None and supp.is_disabled(violation.rule, violation.line):
+            continue
+        kept.append(violation)
+    kept.sort(key=violation_sort_key)
+    return kept
+
+
+def load_sources(paths: Sequence[str]) -> List[SourceFile]:
+    files: List[SourceFile] = []
+    for file_path in iter_python_files(list(paths)):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        files.append(
+            SourceFile(
+                path=file_path,
+                module=_module_path(file_path),
+                source=source,
+                suppressions=Suppressions(source),
+            )
+        )
+    return files
+
+
+def lint_program_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    cache_path: Optional[str] = None,
+) -> Tuple[List[Violation], Program]:
+    """Standalone whole-program lint of ``paths`` (files/directories)."""
+    cache = FactsCache(cache_path) if cache_path is not None else None
+    program = analyze(load_sources(paths), cache=cache)
+    violations = run_rules(program, select=select)
+    if cache is not None:
+        cache.save()
+    return violations, program

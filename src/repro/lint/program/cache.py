@@ -1,0 +1,80 @@
+"""Content-hash facts cache for the whole-program analysis.
+
+One JSON document maps each file path to a sha256 of its bytes plus the
+extracted :class:`~repro.lint.program.facts.FileFacts`.  On a warm run
+only changed files are re-parsed; graph construction and the
+interprocedural rules always run fresh (they are cheap — the AST walks
+are the expensive part).
+
+The cache is opt-in (``repro-lint --cache PATH``): the default CLI run
+writes nothing, so linting a read-only checkout stays side-effect-free.
+Writes are atomic (tmp file + ``os.replace``) so a crashed run can never
+leave a truncated document, and any unreadable/undecodable cache file is
+treated as empty rather than an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from .facts import FACTS_VERSION, FileFacts, extract_facts
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """path -> (content hash, facts) with an on-disk JSON baseline."""
+
+    def __init__(self, cache_path: Optional[str] = None):
+        self.cache_path = cache_path
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_path is not None:
+            self._load(cache_path)
+
+    def _load(self, cache_path: str) -> None:
+        try:
+            with open(cache_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != FACTS_VERSION:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self.entries = files
+
+    def facts_for(self, path: str, source: str, module: str) -> FileFacts:
+        """Cached facts when the content hash matches, else re-extract."""
+        digest = content_hash(source)
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("hash") == digest:
+            try:
+                facts = FileFacts.from_dict(entry["facts"])
+            except (KeyError, TypeError):
+                pass
+            else:
+                if facts.module == module:
+                    self.hits += 1
+                    return facts
+        self.misses += 1
+        facts = extract_facts(source, module)
+        self.entries[path] = {"hash": digest, "facts": facts.to_dict()}
+        return facts
+
+    def save(self) -> None:
+        if self.cache_path is None:
+            return
+        payload = {"version": FACTS_VERSION, "files": self.entries}
+        tmp_path = self.cache_path + ".tmp"
+        directory = os.path.dirname(os.path.abspath(self.cache_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp_path, self.cache_path)

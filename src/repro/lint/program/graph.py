@@ -1,0 +1,242 @@
+"""Module-import and function-call graph over extracted file facts.
+
+Nodes are fully-qualified function names (``module.qpath``, e.g.
+``repro.netsim.engine.Engine.run``).  Edges come from three resolution
+strategies, applied in order per call site:
+
+1. **Lexical / module scope** — a bare name resolves nested-scope-first
+   inside its own module (``tick`` inside ``run_campaign`` resolves to
+   ``run_campaign.tick`` before a module-level ``tick``).
+2. **Import origins** — a dotted target whose prefix was imported
+   resolves across modules, including relative imports (``from .sources
+   import leaf_rng`` inside ``repro.addrs.build`` →
+   ``repro.addrs.sources.leaf_rng``).
+3. **CHA by method name** — an attribute call on an unknown receiver
+   (``prober.next_probe(...)``) conservatively edges to *every* program
+   method of that name, the classic class-hierarchy-analysis
+   over-approximation.  Sound for DET101 (impurity may only be
+   over-reported, never missed), and precise enough in practice because
+   the repro tree keeps method names distinctive.
+
+Reference edges (names passed as call arguments, like
+``engine.schedule(interval, tick)``) use the same resolution and are
+treated as call edges: if the callback is impure, its registrar is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .facts import FileFacts, FunctionFact
+
+#: Entry points that are always reachability roots, even without a
+#: ``# repro-lint: program-root`` comment (belt and braces: the comment
+#: lives in the source, this list survives comment refactors).
+DEFAULT_ROOTS = frozenset(
+    {
+        "repro.netsim.engine.Engine.run",
+        "repro.netsim.engine.Engine.step",
+        "repro.prober.campaign.run_campaign",
+        "repro.prober.parallel.run_shard",
+        "repro.prober.parallel.run_single",
+        "repro.prober.parallel._shard_worker",
+    }
+)
+
+
+@dataclass
+class Edge:
+    """One resolved call/reference from ``src`` to ``dst`` (full names)."""
+
+    src: str
+    dst: str
+    line: int
+    kind: str  # "call" | "ref"
+
+
+@dataclass
+class ProgramGraph:
+    """Indexes + edges over every :class:`FileFacts` in the program."""
+
+    #: full name -> (fact, module, path)
+    nodes: Dict[str, Tuple[FunctionFact, str, str]] = field(default_factory=dict)
+    #: module -> {qpath -> full name}
+    by_module: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: method name -> sorted full names (CHA index; methods only)
+    methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+    #: src full name -> outgoing edges, deterministic order
+    edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    #: module -> path (for cross-file messages)
+    module_paths: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.edges.values())
+
+    def roots(self) -> List[str]:
+        found = [
+            full
+            for full, (fact, _, _) in self.nodes.items()
+            if fact.root or full in DEFAULT_ROOTS
+        ]
+        return sorted(found)
+
+    def reachable(self) -> Dict[str, str]:
+        """full name -> root it is reachable from (first in sorted order)."""
+        reached: Dict[str, str] = {}
+        for root in self.roots():
+            queue = [root]
+            while queue:
+                current = queue.pop(0)
+                if current in reached:
+                    continue
+                reached[current] = root
+                for edge in self.edges.get(current, ()):
+                    if edge.dst not in reached:
+                        queue.append(edge.dst)
+        return reached
+
+    def callers_of(self, full: str) -> List[Edge]:
+        found = []
+        for edges in self.edges.values():
+            for edge in edges:
+                if edge.dst == full and edge.kind == "call":
+                    found.append(edge)
+        return found
+
+    def display(self, full: str) -> str:
+        """Short human name: last module segment + qualified path."""
+        fact, module, _ = self.nodes[full]
+        head = module.rsplit(".", 1)[-1]
+        return "%s.%s" % (head, fact.qname)
+
+
+def build_graph(files: Sequence[Tuple[str, FileFacts]]) -> ProgramGraph:
+    """``files`` is (path, facts) pairs; order does not matter — all
+    indexes and edge lists are sorted deterministically."""
+    graph = ProgramGraph()
+    for path, facts in sorted(files, key=lambda item: item[0]):
+        graph.module_paths[facts.module] = path
+        funcs = graph.by_module.setdefault(facts.module, {})
+        for fact in facts.functions:
+            if fact.qname == "<module>":
+                continue
+            full = "%s.%s" % (facts.module, fact.qname)
+            graph.nodes[full] = (fact, facts.module, path)
+            funcs[fact.qname] = full
+            if fact.method:
+                name = fact.qname.rsplit(".", 1)[-1]
+                graph.methods_by_name.setdefault(name, []).append(full)
+    for candidates in graph.methods_by_name.values():
+        candidates.sort()
+    for path, facts in sorted(files, key=lambda item: item[0]):
+        for fact in facts.functions:
+            if fact.qname == "<module>":
+                continue
+            full = "%s.%s" % (facts.module, fact.qname)
+            out: List[Edge] = []
+            for call in fact.calls:
+                for dst in _resolve(graph, facts.module, fact, call):
+                    out.append(Edge(src=full, dst=dst, line=call["line"], kind="call"))
+            for name, line in fact.refs:
+                for dst in _resolve_ref(graph, facts.module, fact, name):
+                    out.append(Edge(src=full, dst=dst, line=line, kind="ref"))
+            seen: Set[Tuple[str, str]] = set()
+            unique: List[Edge] = []
+            for edge in sorted(out, key=lambda e: (e.line, e.dst, e.kind)):
+                if (edge.dst, edge.kind) in seen:
+                    continue
+                seen.add((edge.dst, edge.kind))
+                unique.append(edge)
+            if unique:
+                graph.edges[full] = unique
+    return graph
+
+
+def _absolutize(module: str, target: str) -> str:
+    """Resolve a leading-dots relative target against ``module``."""
+    if not target.startswith("."):
+        return target
+    level = len(target) - len(target.lstrip("."))
+    rest = target[level:]
+    package_parts = module.split(".")[:-level] if level else module.split(".")
+    if rest:
+        return ".".join(package_parts + [rest] if package_parts else [rest])
+    return ".".join(package_parts)
+
+
+def _lookup_scoped(
+    graph: ProgramGraph, module: str, scope_qname: str, name: str
+) -> Optional[str]:
+    """Nested-scope-first lookup of a bare ``name`` inside ``module``."""
+    funcs = graph.by_module.get(module, {})
+    scope_parts = scope_qname.split(".")
+    for depth in range(len(scope_parts), -1, -1):
+        candidate = ".".join(scope_parts[:depth] + [name])
+        if candidate in funcs:
+            return funcs[candidate]
+    return None
+
+
+def _lookup_dotted(graph: ProgramGraph, target: str) -> Optional[str]:
+    """Longest-module-prefix lookup of an absolute dotted target."""
+    parts = target.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:split])
+        if module in graph.by_module:
+            qpath = ".".join(parts[split:])
+            return graph.by_module[module].get(qpath)
+    return None
+
+
+def _resolve(
+    graph: ProgramGraph,
+    module: str,
+    caller: FunctionFact,
+    call: Dict[str, object],
+) -> List[str]:
+    raw = call.get("raw")
+    target = call.get("target")
+    attr = call.get("attr")
+    if isinstance(raw, str) and "." not in raw:
+        found = _lookup_scoped(graph, module, caller.qname, raw)
+        if found is not None:
+            return [found]
+        if isinstance(target, str) and target != raw:
+            found = _lookup_dotted(graph, _absolutize(module, target))
+            if found is not None:
+                return [found]
+        return []
+    if isinstance(raw, str) and raw.startswith("self.") and raw.count(".") == 1:
+        method = raw.split(".", 1)[1]
+        if caller.method:
+            class_prefix = caller.qname.rsplit(".", 1)[0]
+            funcs = graph.by_module.get(module, {})
+            candidate = "%s.%s" % (class_prefix, method)
+            if candidate in funcs:
+                return [funcs[candidate]]
+        return list(graph.methods_by_name.get(method, ()))
+    if isinstance(target, str):
+        found = _lookup_dotted(graph, _absolutize(module, target))
+        if found is not None:
+            return [found]
+    if isinstance(attr, str):
+        return list(graph.methods_by_name.get(attr, ()))
+    return []
+
+
+def _resolve_ref(
+    graph: ProgramGraph, module: str, caller: FunctionFact, name: str
+) -> List[str]:
+    if name.startswith("self."):
+        method = name.split(".", 1)[1]
+        if caller.method:
+            class_prefix = caller.qname.rsplit(".", 1)[0]
+            funcs = graph.by_module.get(module, {})
+            candidate = "%s.%s" % (class_prefix, method)
+            if candidate in funcs:
+                return [funcs[candidate]]
+        return list(graph.methods_by_name.get(method, ()))
+    found = _lookup_scoped(graph, module, caller.qname, name)
+    return [found] if found is not None else []

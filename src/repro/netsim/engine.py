@@ -61,7 +61,7 @@ class Engine:
             raise ValueError("negative delay: %r" % delay)
         self.schedule_at(self._now + delay, callback)
 
-    def run(self, until: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None) -> int:  # repro-lint: program-root
         """Drain the event queue; stop once virtual time would pass ``until``.
 
         Returns the final virtual time.  With no ``until`` the engine runs
@@ -79,7 +79,7 @@ class Engine:
             self._now = until
         return self._now
 
-    def step(self) -> bool:
+    def step(self) -> bool:  # repro-lint: program-root
         """Run exactly one event; False when the queue is empty."""
         if not self._queue:
             return False

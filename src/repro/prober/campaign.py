@@ -79,7 +79,7 @@ def _make_prober(
     raise ValueError("unknown prober kind %r" % kind)
 
 
-def run_campaign(
+def run_campaign(  # repro-lint: program-root
     internet: Internet,
     vantage_name: str,
     targets: Sequence[int],

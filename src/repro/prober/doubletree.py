@@ -117,7 +117,7 @@ class DoubletreeProber:
     def exhausted(self) -> bool:
         return self._emitter is None
 
-    def next_probe(self, now: int) -> Optional[bytes]:
+    def next_probe(self, now: int) -> Optional[bytes]:  # repro-lint: program-root
         if self._emitter is None:
             return None
         try:
@@ -136,7 +136,7 @@ class DoubletreeProber:
             protocol=self.config.protocol,
         )
 
-    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:
+    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:  # repro-lint: program-root
         record = self.processor.process(data, now, self.sent)
         if record is None:
             return None

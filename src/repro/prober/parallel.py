@@ -130,7 +130,7 @@ def validate_spec(spec: CampaignSpec, shards: int) -> None:
     pps_interval(spec.pps)
 
 
-def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:
+def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:  # repro-lint: program-root
     """Run one permutation shard of ``spec`` to completion in-process."""
     config = replace(spec.prober_config(), shard=shard, shards=shards)
     internet = Internet.from_config(spec.internet)
@@ -150,7 +150,7 @@ def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:
     )
 
 
-def run_single(spec: CampaignSpec) -> CampaignResult:
+def run_single(spec: CampaignSpec) -> CampaignResult:  # repro-lint: program-root
     """The single-process reference campaign for ``spec``."""
     internet = Internet.from_config(spec.internet)
     return run_campaign(
@@ -170,7 +170,7 @@ def run_single(spec: CampaignSpec) -> CampaignResult:
 ShardOutcome = Tuple[str, int, Union[CampaignResult, str]]
 
 
-def _shard_worker(payload: Tuple[CampaignSpec, int, int]) -> ShardOutcome:
+def _shard_worker(payload: Tuple[CampaignSpec, int, int]) -> ShardOutcome:  # repro-lint: program-root
     """Pool entry point: never raises, so a failure is a value the parent
     turns into one clean :class:`ShardFailure` instead of a pool hang."""
     spec, shard, shards = payload

@@ -105,7 +105,7 @@ class Yarrp6:
     #: per-index overhead without meaningfully front-running the walk.
     BATCH = 256
 
-    def next_probe(self, now: int) -> Optional[bytes]:
+    def next_probe(self, now: int) -> Optional[bytes]:  # repro-lint: program-root
         """The next probe packet to emit at virtual time ``now``."""
         if self._fill_queue:
             target, ttl = self._fill_queue.popleft()
@@ -151,7 +151,7 @@ class Yarrp6:
         return now - last > self.config.neighborhood_window_us
 
     # -- reception -------------------------------------------------------
-    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:
+    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:  # repro-lint: program-root
         """Feed a response packet; may enqueue fill probes."""
         record = self.processor.process(data, now, self.sent)
         if record is None:

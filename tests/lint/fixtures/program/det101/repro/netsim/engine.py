@@ -1,0 +1,27 @@
+"""DET101 fixture: impurity hidden two call hops from the run loop."""
+
+import time
+
+
+def jitter_us():
+    return int(time.time() * 1e6) % 7
+
+
+def helper():
+    return jitter_us()
+
+
+def stamped():
+    # Suppressed source: must NOT seed DET101 impurity.
+    return time.time_ns()  # repro-lint: disable=DET001
+
+
+class Engine:
+    def run(self):
+        stamped()
+        return helper()
+
+
+def offline_report():
+    # Impure but unreachable from any program root: no DET101 finding.
+    return time.monotonic()

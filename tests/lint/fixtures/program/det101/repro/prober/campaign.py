@@ -1,0 +1,10 @@
+"""DET101 fixture: cross-module impurity through a nested callback."""
+
+from ..netsim.engine import helper
+
+
+def run_campaign(spec):
+    def tick():
+        return helper()
+
+    return tick()

@@ -1,0 +1,9 @@
+"""OBS101 fixture: the sanctioned observe-only usage (no findings)."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def observe(registry: MetricsRegistry):
+    registry.counter("sent").add(1)
+    # Returning a readback OUT of the simulation is the observe path.
+    return registry.to_dict()

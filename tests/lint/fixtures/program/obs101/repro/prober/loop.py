@@ -1,0 +1,18 @@
+"""OBS101 fixture: telemetry readbacks steering the prober."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def pull(registry: MetricsRegistry):
+    sent = registry.counter("sent")
+    sent.add(1)  # fine: mutating telemetry is the observe path
+    if registry.total("sent") > 10:
+        return None
+    budget = 100 - registry.total("probes")
+    return budget
+
+
+class Prober:
+    def __init__(self, registry: MetricsRegistry):
+        self._m = registry.counter("x")  # fine: handle factory
+        self.state = registry.to_dict()

@@ -1,0 +1,14 @@
+"""RNG101 fixture: a live RNG shipped across the worker boundary."""
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    seed: int
+
+
+def ship(seed):
+    rng = random.Random(seed)
+    return CampaignSpec(rng)

@@ -1,0 +1,32 @@
+"""RNG101 fixture: seed provenance, good and bad."""
+
+import os
+import random
+
+STREAM = 3
+
+
+def good(seed):
+    return random.Random(seed * 1_000_003 + STREAM)
+
+
+def seed_mixed(seed, asn):
+    # Opaque int mixed WITH seed material: sanctioned derivation.
+    return random.Random(seed * 7_919 + asn)
+
+
+def bad_entropy():
+    return random.Random(os.urandom(8))
+
+
+def bad_opaque(count):
+    return random.Random(count)
+
+
+def compute():
+    return 41
+
+
+def caller():
+    noise = compute()
+    return bad_opaque(noise)

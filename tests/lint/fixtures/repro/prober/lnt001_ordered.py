@@ -1,0 +1,5 @@
+"""LNT001 fixture: a stale '# lint: ordered' annotation."""
+
+
+def ordered_list(items):
+    return [x for x in sorted(items)]  # lint: ordered

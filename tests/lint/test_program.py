@@ -1,0 +1,236 @@
+"""Fixture self-tests for the whole-program rules (DET101/RNG101/OBS101),
+the facts cache, and the program-root marker comment."""
+
+import os
+import shutil
+
+from repro.lint.program import PROGRAM_RULES, lint_program_paths
+
+HERE = os.path.dirname(__file__)
+PROGRAM_FIXTURES = os.path.join(HERE, "fixtures", "program")
+
+
+def run_fixture(name, select):
+    base = os.path.join(PROGRAM_FIXTURES, name)
+    violations, program = lint_program_paths([base], select=select)
+    return violations, program
+
+
+def located(violations):
+    return sorted((os.path.basename(v.path), v.line) for v in violations)
+
+
+# -- DET101: transitive impurity ------------------------------------------
+
+
+def test_det101_flags_every_function_on_the_impure_chain():
+    violations, _ = run_fixture("det101", select=["DET101"])
+    assert all(v.rule == "DET101" for v in violations)
+    assert located(violations) == [
+        ("campaign.py", 8),
+        ("campaign.py", 10),
+        ("engine.py", 7),
+        ("engine.py", 11),
+        ("engine.py", 22),
+    ]
+
+
+def test_det101_message_shows_the_full_call_chain():
+    violations, _ = run_fixture("det101", select=["DET101"])
+    by_line = {(os.path.basename(v.path), v.line): v.message for v in violations}
+    assert "engine.jitter_us -> time.time" in by_line[("engine.py", 7)]
+    assert (
+        "engine.helper -> engine.jitter_us -> time.time"
+        in by_line[("engine.py", 11)]
+    )
+    assert (
+        "engine.Engine.run -> engine.helper -> engine.jitter_us -> time.time"
+        in by_line[("engine.py", 22)]
+    )
+    # Cross-module chain through a nested callback.
+    assert (
+        "campaign.run_campaign.tick -> engine.helper -> engine.jitter_us"
+        in by_line[("campaign.py", 8)]
+    )
+    assert (
+        "campaign.run_campaign -> campaign.run_campaign.tick"
+        in by_line[("campaign.py", 10)]
+    )
+
+
+def test_det101_names_the_program_root():
+    violations, _ = run_fixture("det101", select=["DET101"])
+    roots = {v.message.split("program root '")[1].split("'")[0] for v in violations}
+    assert "engine.Engine.run" in roots
+    assert "campaign.run_campaign" in roots
+
+
+def test_det101_suppressed_source_does_not_seed_impurity():
+    violations, _ = run_fixture("det101", select=["DET101"])
+    # stamped() calls time.time_ns() under a DET001 disable; that source
+    # must not leak into any chain, and Engine.run's finding must come
+    # only from the helper() path.
+    assert not any("time.time_ns" in v.message for v in violations)
+
+
+def test_det101_unreachable_impurity_is_not_flagged():
+    violations, _ = run_fixture("det101", select=["DET101"])
+    assert not any("offline_report" in v.message for v in violations)
+    assert not any(v.line == 27 for v in violations)
+
+
+# -- RNG101: seed provenance ----------------------------------------------
+
+
+def test_rng101_flags_entropy_opaque_and_boundary_only():
+    violations, _ = run_fixture("rng101", select=["RNG101"])
+    assert all(v.rule == "RNG101" for v in violations)
+    assert located(violations) == [
+        ("boundary.py", 14),
+        ("rng.py", 19),
+        ("rng.py", 23),
+    ]
+
+
+def test_rng101_entropy_seed_message():
+    violations, _ = run_fixture("rng101", select=["RNG101"])
+    entropy = [v for v in violations if v.line == 19][0]
+    assert "os.urandom" in entropy.message
+
+
+def test_rng101_traces_opaque_value_to_the_call_site():
+    violations, _ = run_fixture("rng101", select=["RNG101"])
+    opaque = [v for v in violations if v.line == 23][0]
+    assert "parameter 'count'" in opaque.message
+    assert "rng.py:32" in opaque.message
+    assert "compute()" in opaque.message
+
+
+def test_rng101_seed_mixed_derivation_is_clean():
+    violations, _ = run_fixture("rng101", select=["RNG101"])
+    # good() (line 10) and seed_mixed() (line 15) are sanctioned: the
+    # seed parameter is mixed arithmetically with constants / opaque ints.
+    assert not any(v.line in (10, 15) for v in violations)
+
+
+def test_rng101_boundary_crossing_names_the_spec_class():
+    violations, _ = run_fixture("rng101", select=["RNG101"])
+    boundary = [v for v in violations if "boundary.py" in v.path][0]
+    assert "CampaignSpec" in boundary.message
+    assert "worker boundary" in boundary.message
+
+
+# -- OBS101: observe-only telemetry ---------------------------------------
+
+
+def test_obs101_flags_readbacks_steering_simulation_state():
+    violations, _ = run_fixture("obs101", select=["OBS101"])
+    assert all(v.rule == "OBS101" for v in violations)
+    assert located(violations) == [
+        ("loop.py", 9),
+        ("loop.py", 11),
+        ("loop.py", 18),
+    ]
+
+
+def test_obs101_messages_name_the_flow_kind():
+    violations, _ = run_fixture("obs101", select=["OBS101"])
+    by_line = {v.line: v.message for v in violations}
+    assert "branch condition" in by_line[9]
+    assert "operand" in by_line[11]
+    assert "object state" in by_line[18]
+    for message in by_line.values():
+        assert "observe-only" in message
+
+
+def test_obs101_observe_path_is_clean():
+    violations, _ = run_fixture("obs101", select=["OBS101"])
+    assert not any("clean.py" in v.path for v in violations)
+
+
+# -- program mechanics ------------------------------------------------------
+
+
+def test_program_rules_registry_is_complete():
+    assert set(PROGRAM_RULES) == {"DET101", "RNG101", "OBS101"}
+
+
+def test_program_output_is_deterministic_across_runs():
+    first, _ = run_fixture("det101", select=None)
+    second, _ = run_fixture("det101", select=None)
+    assert [v.format() for v in first] == [v.format() for v in second]
+
+
+def test_program_root_comment_marks_custom_roots(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "custom.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def my_loop():  # repro-lint: program-root\n"
+        "    return dirty()\n"
+        "\n"
+        "\n"
+        "def dirty():\n"
+        "    return time.time()\n"
+    )
+    violations, _ = lint_program_paths([str(tmp_path)], select=["DET101"])
+    assert located(violations) == [("custom.py", 5), ("custom.py", 9)]
+    assert any("my_loop" in v.message for v in violations)
+
+
+def test_live_tree_has_no_program_violations():
+    src = os.path.normpath(os.path.join(HERE, "..", "..", "src", "repro"))
+    violations, program = lint_program_paths([src])
+    assert violations == []
+    # The graph must actually cover the tree: every default root resolved.
+    assert program.graph.edge_count > 500
+
+
+# -- facts cache ------------------------------------------------------------
+
+
+def _copy_fixture(name, tmp_path):
+    dest = tmp_path / "tree"
+    shutil.copytree(os.path.join(PROGRAM_FIXTURES, name), str(dest))
+    return dest
+
+
+def test_cache_cold_then_warm(tmp_path):
+    tree = _copy_fixture("det101", tmp_path)
+    cache_path = str(tmp_path / "facts.json")
+    cold, program = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program.cache_misses > 0
+    assert program.cache_hits == 0
+    warm, program2 = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program2.cache_misses == 0
+    assert program2.cache_hits == program.cache_misses
+    assert [v.format() for v in cold] == [v.format() for v in warm]
+
+
+def test_cache_invalidates_only_the_edited_file(tmp_path):
+    tree = _copy_fixture("det101", tmp_path)
+    cache_path = str(tmp_path / "facts.json")
+    baseline, _ = lint_program_paths([str(tree)], cache_path=cache_path)
+    engine = tree / "repro" / "netsim" / "engine.py"
+    engine.write_text(engine.read_text() + "\n# touched\n")
+    after, program = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program.cache_misses == 1
+    assert program.cache_hits > 0
+    assert [v.format() for v in baseline] == [v.format() for v in after]
+
+
+def test_cache_file_survives_corruption(tmp_path):
+    tree = _copy_fixture("rng101", tmp_path)
+    cache_path = str(tmp_path / "facts.json")
+    lint_program_paths([str(tree)], cache_path=cache_path)
+    with open(cache_path, "w") as handle:
+        handle.write("{not json")
+    violations, program = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program.cache_misses > 0  # fell back to re-extraction
+    assert located(violations) == [
+        ("boundary.py", 14),
+        ("rng.py", 19),
+        ("rng.py", 23),
+    ]

@@ -1,0 +1,78 @@
+"""Suppression comment edge cases: multi-rule disables and comments
+inside multi-line statements."""
+
+from repro.lint.core import lint_source
+
+MODULE = "repro.prober.fixture"  # in scope for DET001 and DET002
+
+
+def rules_at(violations):
+    return sorted((v.rule, v.line) for v in violations)
+
+
+def test_multi_rule_disable_on_one_line():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f(items):\n"
+        "    for x in {1, 2}: time.time()  # repro-lint: disable=DET001,DET002\n"
+    )
+    violations = lint_source(source, path="x.py", module=MODULE)
+    assert violations == []
+
+
+def test_multi_rule_disable_counterpart_without_comment():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f(items):\n"
+        "    for x in {1, 2}: time.time()\n"
+    )
+    violations = lint_source(source, path="x.py", module=MODULE)
+    assert {v.rule for v in violations} == {"DET001", "DET002"}
+    assert all(v.line == 5 for v in violations)
+
+
+def test_multi_rule_disable_partially_used_suppresses_only_named_rules():
+    # Only DET002 fires here; DET001's half of the comment is unearned.
+    source = (
+        "def f(items):\n"
+        "    for x in {1, 2}:\n"
+        "        pass  # fine\n"
+        "    return [y for y in {3, 4}]  # repro-lint: disable=DET001,DET002\n"
+    )
+    violations = lint_source(source, path="x.py", module=MODULE)
+    assert rules_at(violations) == [("DET002", 2), ("LNT001", 4)]
+    assert "disable=DET001" in violations[-1].message
+
+
+def test_suppression_inside_multiline_statement_anchors_to_violation_line():
+    # The banned call sits on line 3 of a multi-line call; the comment
+    # must live on that physical line to suppress it.
+    source = (
+        "import time\n"
+        "\n"
+        "value = max(\n"
+        "    time.time(),  # repro-lint: disable=DET001\n"
+        "    0.0,\n"
+        ")\n"
+    )
+    violations = lint_source(source, path="x.py", module=MODULE)
+    assert violations == []
+
+
+def test_suppression_on_opening_line_of_multiline_statement_misses():
+    source = (
+        "import time\n"
+        "\n"
+        "value = max(  # repro-lint: disable=DET001\n"
+        "    time.time(),\n"
+        "    0.0,\n"
+        ")\n"
+    )
+    violations = lint_source(source, path="x.py", module=MODULE)
+    # The violation anchors at the call's own line (4), so the comment on
+    # line 3 both fails to suppress it AND is itself flagged as unused.
+    assert rules_at(violations) == [("DET001", 4), ("LNT001", 3)]

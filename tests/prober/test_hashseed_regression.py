@@ -1,0 +1,45 @@
+"""Hash-randomization regression: campaign dumps must be byte-identical
+across interpreter processes started with different PYTHONHASHSEED
+values (no iteration order anywhere may depend on ``hash(str)``)."""
+
+import os
+import subprocess
+import sys
+
+from repro.cli.main import main
+
+HERE = os.path.dirname(__file__)
+SRC = os.path.normpath(os.path.join(HERE, "..", "..", "src"))
+
+
+def probe_under_hash_seed(base, world, targets, hash_seed):
+    out = str(base / ("run-hashseed-%s.yrp6" % hash_seed))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli.main", "probe",
+         "--world", world, "--targets", targets, "--workers", "2",
+         "--out", out],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    with open(out, "rb") as handle:
+        return handle.read()
+
+
+def test_dump_identical_across_hash_seeds(tmp_path):
+    world = str(tmp_path / "world.json")
+    seeds = str(tmp_path / "seeds.jsonl")
+    targets = str(tmp_path / "targets.jsonl")
+    assert main(["world", "--seed", "5", "--edge", "10", "--cpe", "30",
+                 "--out", world]) == 0
+    assert main(["seeds", "--world", world, "--source", "caida",
+                 "--out", seeds]) == 0
+    assert main(["targets", "--seeds", seeds, "--out", targets]) == 0
+    first = probe_under_hash_seed(tmp_path, world, targets, "1")
+    second = probe_under_hash_seed(tmp_path, world, targets, "2")
+    assert first
+    assert first == second
