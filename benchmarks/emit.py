@@ -7,15 +7,31 @@ can upload them as artifacts and successive runs can be diffed
 longitudinally.  Wall-clock figures in a payload must come from
 :mod:`repro.obs.wallclock` (the one allowlisted host-time boundary) and
 sit beside, never inside, the deterministic telemetry sections.
+
+**Regression tracking.**  A payload may carry a ``tracked`` section —
+``{"name": {"value": <float>, "direction": "higher"|"lower", ...}}`` —
+naming the numbers whose drift between runs constitutes a performance
+regression.  ``python -m benchmarks.emit CURRENT.json --baseline
+BASELINE.json`` compares the two sections and exits nonzero when any
+tracked number moved past its threshold in the losing direction; CI
+runs this against the artifact of the previous run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-from typing import Any, Dict
+import sys
+from typing import Any, Dict, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Default allowed fractional drift for a tracked value; individual
+#: entries override with their own ``threshold`` key.  Wall-clock numbers
+#: on shared CI runners are noisy — thresholds are deliberately loose and
+#: exist to catch step changes, not jitter.
+DEFAULT_THRESHOLD = 0.25
 
 
 def emit_json(name: str, payload: Dict[str, Any]) -> str:
@@ -31,3 +47,123 @@ def emit_json(name: str, payload: Dict[str, Any]) -> str:
         json.dump(payload, sink, sort_keys=True, separators=(",", ": "), indent=1)
         sink.write("\n")
     return path
+
+
+def tracked_entry(
+    value: float, direction: str = "higher", threshold: Optional[float] = None
+) -> Dict[str, Any]:
+    """One ``tracked`` section entry.
+
+    ``direction`` is the GOOD direction: ``"higher"`` means larger values
+    are better (speedups, throughput) and a drop is a regression;
+    ``"lower"`` means smaller is better (wall time) and growth is a
+    regression.
+    """
+    if direction not in ("higher", "lower"):
+        raise ValueError("direction must be 'higher' or 'lower': %r" % direction)
+    entry: Dict[str, Any] = {"value": float(value), "direction": direction}
+    if threshold is not None:
+        if threshold < 0:
+            raise ValueError("negative threshold: %r" % threshold)
+        entry["threshold"] = float(threshold)
+    return entry
+
+
+def compare_tracked(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``; empty means pass.
+
+    Every entry in the baseline's ``tracked`` section must exist in the
+    current payload and must not have moved past its threshold in the
+    losing direction.  Improvements and new tracked names never fail.
+    A per-entry ``threshold`` (taken from the current entry, falling back
+    to the baseline's) overrides the global one.
+    """
+    failures: List[str] = []
+    base_section = baseline.get("tracked", {})
+    cur_section = current.get("tracked", {})
+    for name in sorted(base_section):
+        base_entry = base_section[name]
+        cur_entry = cur_section.get(name)
+        if cur_entry is None:
+            failures.append("%s: tracked in baseline but missing from current" % name)
+            continue
+        base_value = float(base_entry["value"])
+        cur_value = float(cur_entry["value"])
+        direction = base_entry.get("direction", "higher")
+        allowed = float(
+            cur_entry.get("threshold", base_entry.get("threshold", threshold))
+        )
+        if direction == "higher":
+            floor = base_value * (1.0 - allowed)
+            if cur_value < floor:
+                failures.append(
+                    "%s: %.4g fell below %.4g (baseline %.4g, -%d%% allowed)"
+                    % (name, cur_value, floor, base_value, round(allowed * 100))
+                )
+        else:
+            ceiling = base_value * (1.0 + allowed)
+            if cur_value > ceiling:
+                failures.append(
+                    "%s: %.4g rose above %.4g (baseline %.4g, +%d%% allowed)"
+                    % (name, cur_value, ceiling, base_value, round(allowed * 100))
+                )
+    return failures
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path) as source:
+        payload = json.load(source)
+    if not isinstance(payload, dict):
+        raise ValueError("%s: expected a JSON object payload" % path)
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m benchmarks.emit CURRENT.json --baseline BASELINE.json``.
+
+    Exit status: 0 when every tracked number is within threshold (or the
+    baseline tracks nothing), 1 on regression, 2 on unreadable input.
+    """
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.emit",
+        description="Compare a BENCH_*.json artifact against a baseline run.",
+    )
+    parser.add_argument("current", help="BENCH_*.json from the current run")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="BENCH_*.json from the reference run to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional drift for entries without their own "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    try:
+        current = _load(args.current)
+        baseline = _load(args.baseline)
+    except (OSError, ValueError) as error:
+        print("emit: %s" % error, file=sys.stderr)
+        return 2
+    failures = compare_tracked(current, baseline, threshold=args.threshold)
+    if failures:
+        print("REGRESSION (%d tracked number(s)):" % len(failures))
+        for line in failures:
+            print("  " + line)
+        return 1
+    tracked = len(baseline.get("tracked", {}))
+    print("ok: %d tracked number(s) within threshold" % tracked)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

@@ -217,6 +217,27 @@ class Internet:
             router.atomic_frag_until.clear()
         self.stats = InternetStats()
 
+    def fresh_run_state(self) -> None:
+        """Restore every run-scoped bit of state to the just-built value,
+        so the next campaign on this instance behaves exactly as if the
+        world had been rebuilt from its config.
+
+        This is what lets the parallel runner share ONE built world across
+        shard campaigns (fork-inherited or run serially in-process) instead
+        of paying :func:`~repro.netsim.build.build_internet` once per
+        shard: :meth:`reset_dynamics` clears limiters, probing state and
+        stats, the loss/response RNG is reseeded to its constructor value,
+        and telemetry hooks are unbound.  The path cache survives — path
+        compilation is a pure function of the immutable topology, so a
+        warm cache changes nothing observable.  Unlike
+        :meth:`reset_dynamics` alone, which deliberately lets the RNG
+        stream continue across trials, this is a full rewind.
+        """
+        self.reset_dynamics()
+        self._rng = random.Random(self.config.seed ^ 0x5EED)
+        self.tracer = NULL_TRACER
+        self.detach_metrics()
+
     def attach_metrics(
         self,
         registry: MetricsRegistry,

@@ -69,6 +69,44 @@ def verify_transport_checksum(
     return internet_checksum(segment, ones_complement_sum(header)) == 0
 
 
+def fold_sum(total: int) -> int:
+    """Fold a raw (possibly multi-carry) one's-complement accumulator
+    down to 16 bits.
+
+    The batched encoder accumulates plain integer word sums — cheaper
+    than folding per word — and folds once at the end; the result is
+    identical to :func:`ones_complement_sum` over the same bytes.
+    """
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def checksum_patch(checksum: int, old_word: int, new_word: int) -> int:
+    """Incrementally update a checksum after one 16-bit word changed.
+
+    RFC 1624 equation 3: given a segment's current Internet checksum and
+    a word rewritten from ``old_word`` to ``new_word``, return the new
+    checksum without re-summing the segment — the in-place field-patching
+    primitive the preallocated probe buffers use.
+    """
+    total = (~checksum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
+    return ~fold_sum(total) & 0xFFFF
+
+
+def address_sum(value: int) -> int:
+    """Unfolded 16-bit word sum of a 128-bit IPv6 address.
+
+    One shift-and-mask pass over the integer itself, avoiding the
+    ``to_bytes`` round trip of :func:`address_checksum`; feed the result
+    to :func:`fold_sum` (and complement) to recover the same checksum.
+    """
+    total = 0
+    for shift in range(0, 128, 16):
+        total += (value >> shift) & 0xFFFF
+    return total
+
+
 def checksum_fudge(segment_without_fudge_sum: int, desired: int) -> int:
     """Fudge value making a segment's one's-complement sum hit ``desired``.
 

@@ -62,6 +62,15 @@ ProberConfig = Union[Yarrp6Config, SequentialConfig, DoubletreeConfig]
 
 Prober = Union[Yarrp6, SequentialProber, DoubletreeProber]
 
+#: Emissions crafted per engine event on the columnar fast path.  Large
+#: enough to amortize permutation/encode dispatch, small enough that the
+#: response backlog stays modest.
+DEFAULT_BATCH = 256
+
+
+def _noop() -> None:
+    """Clock-advance sentinel for the batched loop's final emission."""
+
 
 def _make_prober(
     kind: str,
@@ -94,6 +103,7 @@ def run_campaign(  # repro-lint: program-root
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     metrics_bucket_us: int = DEFAULT_BUCKET_US,
+    batch: Optional[int] = None,
 ) -> CampaignResult:
     """Run one probing campaign to completion in virtual time.
 
@@ -115,11 +125,26 @@ def run_campaign(  # repro-lint: program-root
     emit/probe → limiter decisions).  Both default to shared no-ops and
     never alter the campaign's event stream: the probe bytes, records, and
     interfaces are bit-identical with telemetry on or off.
+
+    ``batch`` sizes the **columnar fast path**: when the prober is a
+    Yarrp6 pure walk (no fill, no neighborhood skipping) and no tracer is
+    attached, the campaign crafts ``batch`` probes per engine event
+    through the batched pull loop (:meth:`Yarrp6.next_probes`) instead of
+    one per tick, reconstructing each response's probes-sent count
+    analytically from the pacing arithmetic.  The dump, records, curve,
+    interfaces, summary and duration are byte-identical to the per-event
+    path — pinned by ``tests/prober/test_batched_equivalence.py``.
+    ``batch=0`` forces the per-event reference path; ``None`` means
+    :data:`DEFAULT_BATCH`.
     """
     if pace_stride < 1:
         raise ValueError("pace_stride must be >= 1: %r" % pace_stride)
     if pace_offset_us < 0:
         raise ValueError("negative pace_offset_us: %r" % pace_offset_us)
+    if batch is None:
+        batch = DEFAULT_BATCH
+    if batch < 0:
+        raise ValueError("negative batch: %r" % batch)
     if reset:
         internet.reset_dynamics()
     registry = metrics if metrics is not None else NULL_REGISTRY
@@ -137,9 +162,7 @@ def run_campaign(  # repro-lint: program-root
     track_discovery = registry.enabled
     discovered: Set[int] = set()
 
-    def deliver(data: bytes) -> None:
-        with trace.span("receive"):
-            record = machine.receive(data, engine.now)
+    def note_discovery(record: Optional[ProbeRecord]) -> None:
         if (
             track_discovery
             and record is not None
@@ -148,6 +171,11 @@ def run_campaign(  # repro-lint: program-root
         ):
             discovered.add(record.hop)
             discovery_series.record(engine.now)
+
+    def deliver(data: bytes) -> None:
+        with trace.span("receive"):
+            record = machine.receive(data, engine.now)
+        note_discovery(record)
 
     def tick() -> None:
         with trace.span("tick"):
@@ -171,13 +199,78 @@ def run_campaign(  # repro-lint: program-root
                 # pacing stride rather than on the probe stream itself.
                 engine.schedule(interval, tick)
 
+    # -- columnar fast path ---------------------------------------------
+    # One engine event per *block* of emissions instead of one per probe:
+    # the pull loop crafts a whole block into a preallocated buffer, the
+    # internet sees probes at their exact logical send times (in emission
+    # order, so limiter and loss draws replay identically), and responses
+    # are scheduled at the same absolute virtual times with the same
+    # relative ordering the per-event loop produces.  Valid only for pure
+    # walks, where every emission time is known in advance.
+    kickoff = tick
+    if (
+        batch > 0
+        and isinstance(machine, Yarrp6)
+        and machine.pure_walk
+        and not trace.enabled
+    ):
+        walker = machine
+        total_walk = len(walker.schedule)
+
+        def sent_at(when: int, rtt_us: int) -> int:
+            """Probes emitted when a response arriving at ``when`` is
+            processed — the per-event loop's live counter, reconstructed
+            from the pacing arithmetic.  Emission k happens at
+            ``pace_offset_us + k*interval``; one exactly at ``when`` is
+            processed first only when its round trip was shorter than one
+            interval (its delivery was scheduled *after* that emission's
+            tick; see ``prober.parallel._global_sent_at``)."""
+            delta = when - pace_offset_us
+            if delta < 0:
+                return 0
+            quotient, remainder = divmod(delta, interval)
+            if remainder:
+                count = quotient + 1
+            else:
+                count = quotient + (1 if rtt_us < interval else 0)
+            return count if count < total_walk else total_walk
+
+        def deliver_batched(data: bytes, send_time: int) -> None:
+            now = engine.now
+            record = walker.receive(data, now, sent=sent_at(now, now - send_time))
+            note_discovery(record)
+
+        def block_tick() -> None:
+            start = engine.now
+            count = min(batch, total_walk - walker.sent)
+            times = [start + k * interval for k in range(count)]
+            emissions = walker.next_probes(times)
+            for when, packet in emissions:
+                sent_series.record(when)
+                response = internet.probe(packet, when)
+                if response is not None:
+                    engine.schedule_at(
+                        when + response.delay_us,
+                        lambda data=response.data, sent=when: deliver_batched(
+                            data, sent
+                        ),
+                    )
+            if walker.sent < total_walk:
+                engine.schedule_at(start + count * interval, block_tick)
+            elif emissions and emissions[-1][0] > engine.now:
+                # Land the clock on the final emission, as the per-event
+                # loop's last tick does (duration invariant).
+                engine.schedule_at(emissions[-1][0], _noop)
+
+        kickoff = block_tick
+
     if registry.enabled:
         internet.attach_metrics(registry, metrics_bucket_us)
     if trace.enabled:
         internet.tracer = trace
     try:
         with trace.span("campaign", vantage=vantage_name, prober=prober):
-            engine.schedule(pace_offset_us, tick)
+            engine.schedule(pace_offset_us, kickoff)
             engine.run()
     finally:
         if trace.enabled:

@@ -30,7 +30,9 @@ from ..addrs import address
 from ..packet import icmpv6, ipv6, tcp, udp
 from ..packet.checksum import (
     address_checksum,
+    address_sum,
     checksum_fudge,
+    fold_sum,
     ones_complement_sum,
     pseudo_header,
 )
@@ -168,6 +170,149 @@ def encode_probe(
 
 #: Transport header lengths by next-header value.
 _TRANSPORT_LENGTH = {PROTO_ICMPV6: 8, PROTO_UDP: 8, PROTO_TCP: 20}
+
+#: Byte offset of the transport checksum field within the transport
+#: header, per protocol.
+_CHECKSUM_OFFSET = {PROTO_ICMPV6: 2, PROTO_UDP: 6, PROTO_TCP: 16}
+
+#: Byte offset of the field carrying the target checksum (TCP/UDP source
+#: port, ICMPv6 identifier) within the transport header.
+_SPORT_OFFSET = {PROTO_ICMPV6: 4, PROTO_UDP: 0, PROTO_TCP: 0}
+
+#: IPv6 fixed-header size; the transport header starts here.
+_IPV6_HEADER = 40
+
+
+class ProbeTemplate:
+    """Preallocated probe packet with in-place per-probe field patching.
+
+    Everything that is constant across one prober's emissions — the IPv6
+    header scaffold, transport header, magic, instance, *and the final
+    transport checksum* (which Yarrp6's fudge field keeps constant by
+    construction) — is rendered once.  Per probe, :meth:`encode_into`
+    rewrites only the six variable field groups of a reusable
+    ``bytearray``: hop limit, destination address, target-checksum port,
+    payload TTL, elapsed timestamp, and the fudge word, recomputed
+    incrementally from a precomputed one's-complement base sum instead of
+    re-summing the packet.  Output bytes are identical to
+    :func:`encode_probe`; the equivalence suite pins this per protocol.
+    """
+
+    __slots__ = (
+        "src",
+        "instance",
+        "protocol",
+        "flow_id",
+        "size",
+        "_template",
+        "_base_sum",
+        "_desired",
+        "_sport_at",
+        "_payload_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        instance: int = 1,
+        protocol: str = "icmp6",
+        flow_id: int = 0,
+    ) -> None:
+        proto = PROTOCOLS.get(protocol)
+        if proto is None:
+            raise ValueError("unknown protocol %r" % protocol)
+        self.src = src
+        self.instance = instance
+        self.protocol = protocol
+        self.flow_id = flow_id
+        self._desired = (TARGET_SUM + flow_id) & 0xFFFF
+        transport_length = _TRANSPORT_LENGTH[proto]
+        payload_at = _IPV6_HEADER + transport_length
+        self._sport_at = _IPV6_HEADER + _SPORT_OFFSET[proto]
+        self._payload_at = payload_at
+
+        # Render the scaffold from the reference encoder with every
+        # variable field at zero (target 0 ⇒ dst bytes and address words
+        # all zero; ttl/elapsed 0), then zero the two fields encode_probe
+        # derived *from* the target (sport, fudge) so the template is
+        # canonical and correctness never depends on its initial values.
+        scaffold = bytearray(
+            encode_probe(
+                src, 0, 0, 0, instance=instance, protocol=protocol, flow_id=flow_id
+            )
+        )
+        scaffold[self._sport_at : self._sport_at + 2] = b"\x00\x00"
+        scaffold[payload_at + 10 : payload_at + 12] = b"\x00\x00"
+        self._template = bytes(scaffold)
+        self.size = len(scaffold)
+
+        # One's-complement base over the checksummed region with variable
+        # fields zeroed: pseudo-header (dst=0) + transport header (sport
+        # and checksum zeroed) + payload head (ttl/elapsed zeroed).
+        fixed = bytearray(scaffold[_IPV6_HEADER:payload_at])
+        checksum_at = _CHECKSUM_OFFSET[proto]
+        fixed[checksum_at : checksum_at + 2] = b"\x00\x00"
+        base = ones_complement_sum(
+            pseudo_header(src, 0, transport_length + PAYLOAD_LENGTH, proto)
+        )
+        self._base_sum = ones_complement_sum(
+            bytes(fixed) + scaffold[payload_at : payload_at + 10], base
+        )
+
+    def new_buffer(self) -> bytearray:
+        """A fresh mutable packet buffer initialized from the template."""
+        return bytearray(self._template)
+
+    def encode_into(
+        self, buffer: bytearray, target: int, ttl: int, elapsed: int
+    ) -> None:
+        """Patch ``buffer`` in place into the probe for (target, TTL).
+
+        ``buffer`` must come from :meth:`new_buffer` (or a previous call
+        on the same template); only the variable fields are written, so
+        reusing one buffer across a whole block amortizes allocation.
+        """
+        elapsed &= 0xFFFFFFFF
+        buffer[7] = ttl
+        buffer[24:40] = target.to_bytes(16, "big")
+        target_sum = address_sum(target)
+        sport = ~fold_sum(target_sum) & 0xFFFF
+        if sport == 0:
+            sport = 0xFFFF
+        sport_at = self._sport_at
+        buffer[sport_at] = sport >> 8
+        buffer[sport_at + 1] = sport & 0xFF
+        payload_at = self._payload_at
+        buffer[payload_at + 5] = ttl & 0xFF
+        buffer[payload_at + 6 : payload_at + 10] = elapsed.to_bytes(4, "big")
+        total = fold_sum(
+            self._base_sum
+            + target_sum
+            + sport
+            + (ttl & 0xFF)
+            + (elapsed >> 16)
+            + (elapsed & 0xFFFF)
+        )
+        fudge = checksum_fudge(total, self._desired)
+        buffer[payload_at + 10] = fudge >> 8
+        buffer[payload_at + 11] = fudge & 0xFF
+
+
+def encode_probe_into(
+    template: ProbeTemplate,
+    buffer: bytearray,
+    target: int,
+    ttl: int,
+    elapsed: int,
+) -> None:
+    """In-place batched twin of :func:`encode_probe`.
+
+    Patches ``buffer`` (from ``template.new_buffer()``) into the complete
+    probe packet for (target, TTL) at send time ``elapsed`` — byte-
+    identical to ``encode_probe(template.src, target, ttl, elapsed, ...)``
+    with the template's instance, protocol and flow id.
+    """
+    template.encode_into(buffer, target, ttl, elapsed)
 
 
 def decode_quotation(quotation: bytes, instance: Optional[int] = None) -> DecodedProbe:

@@ -13,11 +13,18 @@ holds bit for bit, for any ``N``, whenever the campaign is *decomposable*
 (see below).  Three mechanisms make that true:
 
 **Spec pickling, not object pickling.**  Workers never receive a live
-:class:`~repro.netsim.internet.Internet` — a :class:`CampaignSpec` holds
-only the :class:`~repro.netsim.build.InternetConfig` (a dataclass of
-numbers), the vantage name, the target list and the prober config.  Each
-worker rebuilds the identical world from the config's seed via
-:meth:`Internet.from_config`.
+:class:`~repro.netsim.internet.Internet` over a pipe — a
+:class:`CampaignSpec` holds only the :class:`~repro.netsim.build.
+InternetConfig` (a dataclass of numbers), the vantage name, the target
+list and the prober config.  On fork platforms the parent builds the
+world ONCE before the pool starts and every worker inherits it
+copy-on-write; workers rewind its run-scoped state
+(:meth:`Internet.fresh_run_state`) instead of rebuilding, so sharding
+cost is per-campaign, not per-shard-times-build.  Spawn platforms (and
+any worker whose inherited world doesn't match the spec) fall back to
+rebuilding the identical world from the config's seed via
+:meth:`Internet.from_config` — worlds are pure functions of their
+config, so both routes produce the same bytes.
 
 **Stride pacing.**  The single-process walk emits permutation position
 ``p`` at virtual time ``p * interval``.  Shard ``s`` therefore runs with
@@ -130,10 +137,46 @@ def validate_spec(spec: CampaignSpec, shards: int) -> None:
     pps_interval(spec.pps)
 
 
-def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:  # repro-lint: program-root
-    """Run one permutation shard of ``spec`` to completion in-process."""
+#: This process's shared world: ``(config, world)``.  Set by
+#: :func:`_world_for`; under a fork start method the parent populates it
+#: before the pool exists, so every worker inherits the built world
+#: copy-on-write and only rewinds run state per shard.
+_SHARED_WORLD: Optional[Tuple[InternetConfig, Internet]] = None
+
+
+def _world_for(config: InternetConfig) -> Internet:
+    """The process-wide world for ``config``, rewound to run-fresh state.
+
+    Reuses the cached world when its config matches — the fork-inherited
+    parent build in pool workers, or the previous call's build when
+    shards run serially in one process.  A mismatch (first use, spawn
+    start method, different campaign) rebuilds from the config; builds
+    are pure functions of the config, so either route yields an
+    identical world.
+    """
+    global _SHARED_WORLD
+    if _SHARED_WORLD is None or _SHARED_WORLD[0] != config:
+        _SHARED_WORLD = (config, Internet.from_config(config))
+    world = _SHARED_WORLD[1]
+    world.fresh_run_state()
+    return world
+
+
+def run_shard(
+    spec: CampaignSpec,
+    shard: int,
+    shards: int,
+    internet: Optional[Internet] = None,
+) -> CampaignResult:  # repro-lint: program-root
+    """Run one permutation shard of ``spec`` to completion in-process.
+
+    ``internet`` lets a caller supply a prebuilt world (it must already be
+    in run-fresh state); by default the process-shared world for the
+    spec's config is used, rewound via :meth:`Internet.fresh_run_state`.
+    """
     config = replace(spec.prober_config(), shard=shard, shards=shards)
-    internet = Internet.from_config(spec.internet)
+    if internet is None:
+        internet = _world_for(spec.internet)
     base = pps_interval(spec.pps)
     return run_campaign(
         internet,
@@ -152,7 +195,7 @@ def run_shard(spec: CampaignSpec, shard: int, shards: int) -> CampaignResult:  #
 
 def run_single(spec: CampaignSpec) -> CampaignResult:  # repro-lint: program-root
     """The single-process reference campaign for ``spec``."""
-    internet = Internet.from_config(spec.internet)
+    internet = _world_for(spec.internet)
     return run_campaign(
         internet,
         spec.vantage,
@@ -180,16 +223,21 @@ def _shard_worker(payload: Tuple[CampaignSpec, int, int]) -> ShardOutcome:  # re
         return ("error", shard, traceback.format_exc())
 
 
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    """The pool start method actually used: fork when available (workers
+    inherit the parent's built world), the platform default otherwise."""
+    if start_method is not None:
+        return start_method
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
 def _make_pool(
     processes: int, start_method: Optional[str]
 ) -> multiprocessing.pool.Pool:
     """Build the worker pool (separate hook so tests can assert that
     validation failures never reach it)."""
-    if start_method is None:
-        start_method = (
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-    return multiprocessing.get_context(start_method).Pool(processes)
+    method = _resolve_start_method(start_method)
+    return multiprocessing.get_context(method).Pool(processes)
 
 
 def run_parallel(
@@ -213,10 +261,17 @@ def run_parallel(
     payloads = [(spec, shard, shards) for shard in range(shards)]
     results: List[Optional[CampaignResult]] = [None] * shards
     if processes == 1:
+        # Serial shards share the process's world via _world_for.
         outcomes = map(_shard_worker, payloads)
         for outcome in outcomes:
             _place(outcome, results)
     else:
+        if _resolve_start_method(start_method) == "fork":
+            # Build (or rewind) the shared world BEFORE the pool forks:
+            # every worker inherits the compiled topology copy-on-write
+            # and skips its own build entirely.  Spawn workers start with
+            # an empty module and rebuild from the spec's config instead.
+            _world_for(spec.internet)
         pool = _make_pool(processes, start_method)
         try:
             for outcome in pool.imap_unordered(_shard_worker, payloads):

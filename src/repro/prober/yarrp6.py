@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
-from .encoding import encode_probe
+from .encoding import ProbeTemplate, encode_probe
 from .permutation import ProbeSchedule
 from .records import ProbeRecord, ResponseProcessor
 
@@ -81,6 +81,9 @@ class Yarrp6:
         #: ``_fetched`` counts pairs pulled from the schedule so far.
         self._buffer: Deque[Tuple[int, int]] = deque()
         self._fetched = 0
+        #: Batched-encode state, created on first :meth:`next_probes`.
+        self._template: Optional[ProbeTemplate] = None
+        self._template_buffer: Optional[bytearray] = None
         self._fill_queue: Deque[Tuple[int, int]] = deque()
         self.sent = 0
         self.fills = 0
@@ -127,6 +130,70 @@ class Yarrp6:
             return self._encode(self.targets[target_index], ttl, now)
         return None
 
+    @property
+    def pure_walk(self) -> bool:
+        """True when the emission stream is a pure permutation walk —
+        no fill probes and no neighborhood skipping — i.e. every probe's
+        position and send time are known in advance.  This is the
+        precondition for :meth:`next_probes` (and for the campaign
+        runner's columnar fast path)."""
+        return not self.config.fill and self.config.neighborhood_ttl is None
+
+    def next_probes(self, times: Sequence[int]) -> List[Tuple[int, bytes]]:  # repro-lint: program-root
+        """The batched pull loop: up to ``len(times)`` walk probes, the
+        k-th crafted for virtual send time ``times[k]``.
+
+        Returns ``[(send_time, packet), ...]``, shorter than ``times``
+        only when the walk exhausts.  Packets are crafted into one
+        preallocated buffer via :class:`~repro.prober.encoding.
+        ProbeTemplate` with in-place field patching — byte-identical to
+        what :meth:`next_probe` would emit at the same virtual times, but
+        without per-probe byte assembly or per-probe schedule calls.
+
+        Only valid for pure walks (:attr:`pure_walk`): fill and
+        neighborhood modes react to responses, which would reorder the
+        stream mid-block.
+        """
+        if not self.pure_walk:
+            raise ValueError(
+                "next_probes requires a pure walk (fill and neighborhood off)"
+            )
+        total = len(self.schedule)
+        count = min(len(times), total - self._cursor)
+        if count <= 0:
+            return []
+        if self._template is None:
+            self._template = ProbeTemplate(
+                self.source,
+                instance=self.config.instance,
+                protocol=self.config.protocol,
+            )
+            self._template_buffer = self._template.new_buffer()
+        template = self._template
+        buffer = self._template_buffer
+        assert buffer is not None
+        targets = self.targets
+        buffered = len(self._buffer)
+        if buffered >= count:
+            pairs = [self._buffer.popleft() for _ in range(count)]
+        else:
+            pairs = list(self._buffer)
+            self._buffer.clear()
+            fetch = count - buffered
+            pairs.extend(self.schedule.block(self._fetched, fetch))
+            self._fetched += fetch
+        self._cursor += count
+        out: List[Tuple[int, bytes]] = []
+        append = out.append
+        encode_into = template.encode_into
+        for position, (target_index, ttl) in enumerate(pairs):
+            when = times[position]
+            encode_into(buffer, targets[target_index], ttl, when & 0xFFFFFFFF)
+            append((when, bytes(buffer)))
+        self.sent += count
+        self._m_sent.inc(count)
+        return out
+
     def _encode(self, target: int, ttl: int, now: int) -> bytes:
         self.sent += 1
         self._m_sent.inc()
@@ -151,9 +218,21 @@ class Yarrp6:
         return now - last > self.config.neighborhood_window_us
 
     # -- reception -------------------------------------------------------
-    def receive(self, data: bytes, now: int) -> Optional[ProbeRecord]:  # repro-lint: program-root
-        """Feed a response packet; may enqueue fill probes."""
-        record = self.processor.process(data, now, self.sent)
+    def receive(
+        self, data: bytes, now: int, sent: Optional[int] = None
+    ) -> Optional[ProbeRecord]:  # repro-lint: program-root
+        """Feed a response packet; may enqueue fill probes.
+
+        ``sent`` overrides the probes-sent count attributed to this
+        response (the discovery-curve x coordinate).  The batched
+        campaign loop crafts emissions ahead of the virtual clock, so it
+        passes the analytically reconstructed "probes sent when this
+        response arrived" — the same number the per-event loop's live
+        counter would hold.  Per-event callers leave it ``None``.
+        """
+        record = self.processor.process(
+            data, now, self.sent if sent is None else sent
+        )
         if record is None:
             return None
         self._m_responses.inc()

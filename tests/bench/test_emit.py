@@ -1,0 +1,177 @@
+"""Unit tests for the benchmark artifact helper and its regression CLI.
+
+``benchmarks.emit`` gained a ``--baseline`` compare mode: BENCH payloads
+carry a ``tracked`` section of regression-watched numbers, and CI fails
+the bench step when any of them drifts past its threshold in the losing
+direction.  The threshold logic is pure arithmetic — these tests pin it
+exactly, including the direction semantics and the per-entry override.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.emit import (
+    DEFAULT_THRESHOLD,
+    compare_tracked,
+    emit_json,
+    main,
+    tracked_entry,
+)
+
+
+def payload(**tracked):
+    return {"benchmark": "unit", "tracked": tracked}
+
+
+class TestTrackedEntry:
+    def test_defaults(self):
+        entry = tracked_entry(2.5)
+        assert entry == {"value": 2.5, "direction": "higher"}
+
+    def test_threshold_recorded(self):
+        entry = tracked_entry(1.0, direction="lower", threshold=0.1)
+        assert entry == {"value": 1.0, "direction": "lower", "threshold": 0.1}
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            tracked_entry(1.0, direction="sideways")
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            tracked_entry(1.0, threshold=-0.5)
+
+
+class TestCompareTracked:
+    def test_empty_baseline_passes(self):
+        assert compare_tracked(payload(), {"benchmark": "unit"}) == []
+
+    def test_within_threshold_passes(self):
+        base = payload(speedup=tracked_entry(2.0))
+        # 10% drop, 25% default threshold.
+        cur = payload(speedup=tracked_entry(1.8))
+        assert compare_tracked(cur, base) == []
+
+    def test_higher_is_better_regression(self):
+        base = payload(speedup=tracked_entry(2.0))
+        cur = payload(speedup=tracked_entry(1.4))  # -30%
+        failures = compare_tracked(cur, base)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_improvement_never_fails(self):
+        base = payload(
+            speedup=tracked_entry(2.0),
+            wall=tracked_entry(10.0, direction="lower"),
+        )
+        cur = payload(
+            speedup=tracked_entry(9.0),
+            wall=tracked_entry(0.5, direction="lower"),
+        )
+        assert compare_tracked(cur, base) == []
+
+    def test_lower_is_better_regression(self):
+        base = payload(wall=tracked_entry(10.0, direction="lower"))
+        cur = payload(wall=tracked_entry(13.0, direction="lower"))  # +30%
+        failures = compare_tracked(cur, base)
+        assert len(failures) == 1
+        assert "wall" in failures[0]
+
+    def test_boundary_is_inclusive(self):
+        """Exactly at the threshold edge is NOT a regression."""
+        base = payload(speedup=tracked_entry(2.0))
+        cur = payload(speedup=tracked_entry(2.0 * (1 - DEFAULT_THRESHOLD)))
+        assert compare_tracked(cur, base) == []
+        base = payload(wall=tracked_entry(10.0, direction="lower"))
+        cur = payload(wall=tracked_entry(10.0 * (1 + DEFAULT_THRESHOLD), direction="lower"))
+        assert compare_tracked(cur, base) == []
+
+    def test_global_threshold_parameter(self):
+        base = payload(speedup=tracked_entry(2.0))
+        cur = payload(speedup=tracked_entry(1.9))  # -5%
+        assert compare_tracked(cur, base, threshold=0.10) == []
+        assert compare_tracked(cur, base, threshold=0.01) != []
+
+    def test_per_entry_threshold_overrides_global(self):
+        base = payload(speedup=tracked_entry(2.0, threshold=0.01))
+        cur = payload(speedup=tracked_entry(1.9, threshold=0.01))  # -5%
+        assert compare_tracked(cur, base, threshold=0.5) != []
+        # The current entry's threshold wins over the baseline's.
+        loose = payload(speedup=tracked_entry(1.9, threshold=0.2))
+        assert compare_tracked(loose, base, threshold=0.5) == []
+
+    def test_missing_tracked_name_fails(self):
+        base = payload(speedup=tracked_entry(2.0))
+        failures = compare_tracked(payload(), base)
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_new_tracked_name_in_current_ignored(self):
+        base = payload()
+        cur = payload(brand_new=tracked_entry(1.0))
+        assert compare_tracked(cur, base) == []
+
+    def test_multiple_regressions_all_reported(self):
+        base = payload(
+            a=tracked_entry(2.0),
+            b=tracked_entry(5.0, direction="lower"),
+            c=tracked_entry(3.0),
+        )
+        cur = payload(
+            a=tracked_entry(0.1),
+            b=tracked_entry(50.0, direction="lower"),
+            c=tracked_entry(3.0),
+        )
+        failures = compare_tracked(cur, base)
+        assert len(failures) == 2
+
+
+class TestEmitJson:
+    def test_writes_canonical_json(self, tmp_path, monkeypatch):
+        import benchmarks.emit as emit_module
+
+        monkeypatch.setattr(emit_module, "RESULTS_DIR", str(tmp_path))
+        path = emit_json("unit", {"b": 2, "a": 1})
+        assert os.path.basename(path) == "BENCH_unit.json"
+        text = open(path).read()
+        assert text.index('"a"') < text.index('"b"')  # sorted keys
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+
+class TestMain:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(x=tracked_entry(1.0)))
+        cur = self.write(tmp_path, "cur.json", payload(x=tracked_entry(1.1)))
+        assert main([cur, "--baseline", base]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(x=tracked_entry(10.0)))
+        cur = self.write(tmp_path, "cur.json", payload(x=tracked_entry(1.0)))
+        assert main([cur, "--baseline", base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        base = self.write(tmp_path, "base.json", payload(x=tracked_entry(2.0)))
+        cur = self.write(tmp_path, "cur.json", payload(x=tracked_entry(1.9)))
+        assert main([cur, "--baseline", base, "--threshold", "0.2"]) == 0
+        assert main([cur, "--baseline", base, "--threshold", "0.001"]) == 1
+
+    def test_unreadable_input_exit_two(self, tmp_path, capsys):
+        cur = self.write(tmp_path, "cur.json", payload())
+        assert main([cur, "--baseline", str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main([cur, "--baseline", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_untracked_payloads_pass(self, tmp_path):
+        base = self.write(tmp_path, "base.json", {"benchmark": "unit"})
+        cur = self.write(tmp_path, "cur.json", {"benchmark": "unit"})
+        assert main([cur, "--baseline", base]) == 0

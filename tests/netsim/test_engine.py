@@ -1,10 +1,18 @@
 """Tests for the virtual-time event engine."""
 
+import random
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.netsim.engine import Engine, US_PER_SECOND, pps_interval, seconds
+from repro.netsim.engine import (
+    _COMPACT_MIN,
+    Engine,
+    US_PER_SECOND,
+    pps_interval,
+    seconds,
+)
 
 
 class TestEngine:
@@ -80,6 +88,147 @@ class TestEngine:
         engine.run()
         assert fired == sorted(fired)
         assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_fifo_among_equal_times(self, events):
+        """The columnar queue's core claim: (time, scheduling order) is
+        the total event order, exactly as a (when, seq, cb) tuple heap
+        would produce — including duplicate timestamps."""
+        engine = Engine()
+        fired = []
+        for tag, (_, delay) in enumerate(events):
+            engine.schedule(delay, lambda tag=tag: fired.append(tag))
+        engine.run()
+        expected = [
+            tag
+            for _, tag in sorted(
+                (delay, tag) for tag, (_, delay) in enumerate(events)
+            )
+        ]
+        assert fired == expected
+
+
+class TestRunBatch:
+    def test_fires_all_events_at_earliest_timestamp(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, lambda: fired.append("a"))
+        engine.schedule(10, lambda: fired.append("b"))
+        engine.schedule(10, lambda: fired.append("c"))
+        engine.schedule(20, lambda: fired.append("late"))
+        assert engine.run_batch() == 3
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 10
+        assert engine.pending == 1
+        assert engine.run_batch() == 1
+        assert fired == ["a", "b", "c", "late"]
+
+    def test_empty_queue_returns_zero(self):
+        engine = Engine()
+        assert engine.run_batch() == 0
+        assert engine.now == 0
+
+    def test_includes_events_scheduled_mid_batch_at_same_time(self):
+        """An event that schedules another event for the SAME timestamp
+        extends the current batch (matching run()'s behaviour, where the
+        new event simply pops next)."""
+        engine = Engine()
+        fired = []
+        engine.schedule(
+            5, lambda: (fired.append("first"), engine.schedule(0, lambda: fired.append("nested")))
+        )
+        assert engine.run_batch() == 2
+        assert fired == ["first", "nested"]
+
+    def test_batched_drain_equals_run(self):
+        """Draining entirely through run_batch reproduces run()'s exact
+        firing order."""
+        rng = random.Random(42)
+        delays = [rng.randrange(0, 50) for _ in range(200)]
+        order_run, order_batch = [], []
+        for collector, drain in ((order_run, "run"), (order_batch, "batch")):
+            engine = Engine()
+            for tag, delay in enumerate(delays):
+                engine.schedule(delay, lambda tag=tag: collector.append(tag))
+            if drain == "run":
+                engine.run()
+            else:
+                while engine.run_batch():
+                    pass
+        assert order_batch == order_run
+
+
+class TestCompaction:
+    def test_compaction_preserves_order_and_results(self):
+        """Push enough churn through the queue to trigger slot-array
+        compaction repeatedly; firing order must stay (time, FIFO)."""
+        engine = Engine()
+        fired = []
+        rng = random.Random(7)
+        pending = 0
+
+        def make(tag):
+            return lambda: fired.append(tag)
+
+        tag = 0
+        for _ in range(3 * _COMPACT_MIN):
+            engine.schedule(rng.randrange(0, 10_000), make(tag))
+            tag += 1
+            pending += 1
+            # Keep the live count low so the mostly-dead threshold trips.
+            while pending > 4:
+                engine.step()
+                pending -= 1
+        engine.run()
+        assert len(fired) == tag
+        assert sorted(fired) == list(range(tag))
+
+    def test_compaction_keeps_aliases_valid_inside_run(self):
+        """run() holds aliases to the heap and slot lists; a compaction
+        triggered by scheduling from *inside* a callback must mutate
+        those lists in place, not rebind them."""
+        engine = Engine()
+        fired = []
+
+        def stuff_queue():
+            # Enough appends to cross _COMPACT_MIN while almost all
+            # earlier slots are dead -> compaction fires mid-run.
+            for index in range(_COMPACT_MIN + 8):
+                engine.schedule(
+                    1 + index, lambda index=index: fired.append(index)
+                )
+
+        engine.schedule(0, stuff_queue)
+        engine.run()
+        assert fired == list(range(_COMPACT_MIN + 8))
+
+    def test_slot_array_shrinks_when_mostly_dead(self):
+        """The compaction actually reclaims memory: after heavy churn the
+        slot array must not retain one entry per ever-scheduled event."""
+        engine = Engine()
+        for index in range(4 * _COMPACT_MIN):
+            engine.schedule(index, lambda: None)
+            engine.step()
+        assert len(engine._slots) < 2 * _COMPACT_MIN
+
+    def test_pending_tracks_live_events_across_compaction(self):
+        engine = Engine()
+        for index in range(2 * _COMPACT_MIN):
+            engine.schedule(10 + index, lambda: None)
+        for _ in range(2 * _COMPACT_MIN - 3):
+            engine.step()
+        assert engine.pending == 3
+        engine.run()
+        assert engine.pending == 0
 
 
 class TestConversions:
