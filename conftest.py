@@ -1,10 +1,15 @@
 """Repository-root pytest configuration.
 
-Registers the DetSan plugin (``pytest --detsan`` runs every test inside
-the runtime determinism sanitizer — see ``repro.lint.detsan``).  The
-plugin lives in the package so it is importable wherever ``repro`` is;
-registering it here (the rootdir conftest) keeps ``pytest`` invocations
-from any subdirectory consistent.
+Registers the runtime-sanitizer plugins: ``pytest --detsan`` runs every
+test inside the determinism sanitizer (``repro.lint.detsan``) and
+``pytest --shardsan`` inside the shared-world write sanitizer
+(``repro.lint.shardsan``).  The plugins live in the package so they are
+importable wherever ``repro`` is; registering them here (the rootdir
+conftest) keeps ``pytest`` invocations from any subdirectory
+consistent.
 """
 
-pytest_plugins = ["repro.lint.detsan_pytest"]
+pytest_plugins = [
+    "repro.lint.detsan_pytest",
+    "repro.lint.shardsan_pytest",
+]

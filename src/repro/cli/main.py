@@ -54,6 +54,8 @@ from ..prober import (
     run_yarrp6,
 )
 from ..lint.detsan import DetSan, hash_seed_pinned
+from ..lint.shardsan import ShardSan
+from ..prober import parallel as _parallel
 from ..prober.output import dumps, load_campaign, save_campaign
 from ..seeds import build_all_seeds
 from .worldcfg import load_config, save_config
@@ -158,6 +160,13 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
     workers = getattr(args, "workers", 1)
     metrics_path = getattr(args, "metrics", None)
     detsan = getattr(args, "detsan", False)
+    shardsan = getattr(args, "shardsan", False)
+    if detsan and shardsan:
+        out.write("--detsan and --shardsan are mutually exclusive\n")
+        return 2
+    if shardsan and args.prober != "yarrp6":
+        out.write("--shardsan requires the yarrp6 prober (shared-world shards)\n")
+        return 2
     # The stopwatch is the run's only wall-clock read (top-level boundary,
     # reporting only — see repro.obs.wallclock); it never touches the sim.
     stopwatch = Stopwatch() if metrics_path else None
@@ -217,6 +226,40 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             )
             return 1
         out.write("detsan: clean (0 reports, dump byte-identical to rerun)\n")
+    elif shardsan:
+        # Runtime counterpart of the MUT101 static proof: run the same
+        # campaign at shard widths 1, 2 and 4 against ONE watched world
+        # (serial in-process sharding, so every shard really touches the
+        # same objects) and demand zero writes to unregistered state.
+        spec = CampaignSpec(
+            internet=world_config,
+            vantage=args.vantage,
+            targets=tuple(targets),
+            pps=args.pps,
+            config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
+            metrics=metrics_path is not None,
+        )
+        result = None
+        for shards in (1, 2, 4):
+            with ShardSan(mode="record", scope="repro") as sanitizer:
+                watched = sanitizer.watch(_parallel._world_for(spec.internet))
+                sharded = run_parallel(spec, shards=shards, processes=1)
+            if sanitizer.reports:
+                for report in sanitizer.reports[:20]:
+                    out.write("shardsan: %s\n" % report.summary())
+                out.write(
+                    "shardsan: %d unregistered write(s) at shards=%d — the "
+                    "shared world is not shard-safe\n"
+                    % (len(sanitizer.reports), shards)
+                )
+                return 1
+            out.write(
+                "shardsan: shards=%d clean (%d containers watched)\n"
+                % (shards, watched)
+            )
+            if result is None:
+                result = sharded
+        out.write("shardsan: clean (0 unregistered writes across shards 1/2/4)\n")
     else:
         result = run_once()
     rows = save_campaign(args.out, result)
@@ -393,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the DetSan determinism sanitizer: record any host "
         "time/entropy reads, rerun clean, and require a byte-identical "
         "dump (requires pinned PYTHONHASHSEED; exit 1 on any report)",
+    )
+    probe.add_argument(
+        "--shardsan",
+        action="store_true",
+        help="run under the ShardSan shared-world sanitizer: execute the "
+        "campaign at shard widths 1, 2 and 4 on one watched world and "
+        "require zero writes to unregistered state (yarrp6 only; exit 1 "
+        "on any report)",
     )
     probe.add_argument("--out", required=True)
     probe.set_defaults(handler=cmd_probe)

@@ -7,13 +7,14 @@ Usage::
     repro-lint --format sarif src/ > lint.sarif
     repro-lint --select DET101,RNG101 src/repro
     repro-lint --cache .lint-cache.json src/   # warm-start the analysis
+    repro-lint --exclude tests/lint/fixtures tests/ benchmarks/
     repro-lint --list-checkers
 
 Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 Driver pipeline (order matters for LNT001, the unused-suppression
 rule): file-phase checkers run per file; the whole-program pass
-(DET101/RNG101/OBS101) runs over every linted file at once, filtering
+(DET101/RNG101/OBS101/MUT101-103) runs over every linted file at once, filtering
 its findings through the *same* per-file suppression objects so usage
 is recorded; post-phase checkers (LNT001) then judge the suppressions;
 finally everything is merged and sorted by (path, line, rule-id) —
@@ -65,9 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="skip files whose path starts with PREFIX (repeatable) — "
+        "e.g. --exclude tests/lint/fixtures when linting the test tree, "
+        "whose fixtures are deliberate violations",
+    )
+    parser.add_argument(
         "--no-program",
         action="store_true",
-        help="skip the whole-program pass (DET101/RNG101/OBS101)",
+        help="skip the whole-program pass (DET101/RNG101/OBS101/MUT10x)",
     )
     parser.add_argument(
         "--cache",
@@ -88,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rules and exit",
     )
     return parser
+
+
+def _normalize(path: str) -> str:
+    path = path.replace("\\", "/")
+    while path.startswith("./"):
+        path = path[2:]
+    return path.rstrip("/")
+
+
+def excluded(path: str, prefixes: Sequence[str]) -> bool:
+    """True when ``path`` sits under any of the ``--exclude`` prefixes."""
+    norm = _normalize(path)
+    for prefix in prefixes:
+        cut = _normalize(prefix)
+        if norm == cut or norm.startswith(cut + "/"):
+            return True
+    return False
 
 
 def render_text(violations: Sequence[Violation], out: TextIO) -> None:
@@ -179,6 +206,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
     states: List[FileLint] = []
     try:
         for file_path in iter_python_files(args.paths):
+            if excluded(file_path, args.exclude):
+                continue
             with open(file_path, "r", encoding="utf-8") as handle:
                 source = handle.read()
             state = lint_source_state(source, path=file_path, select=select)

@@ -12,7 +12,15 @@ graphs (:mod:`.graph`), and runs the interprocedural rules on them:
   to spec/world seed material, and no RNG object may cross the
   ``CampaignSpec`` worker boundary (:mod:`.rng101`);
 * **OBS101** — telemetry observe-only: no dataflow from ``repro.obs``
-  readbacks into ``netsim``/``prober`` state (:mod:`.obs101`).
+  readbacks into ``netsim``/``prober`` state (:mod:`.obs101`);
+* **MUT101** — shared-world shard safety: code reachable from the
+  parallel shard workers may only write state registered via
+  ``@run_state(...)`` (:mod:`.mut101`);
+* **MUT102** — rewind completeness: the RunState registry and
+  ``Internet.fresh_run_state`` must cover each other exactly
+  (:mod:`.mut102`);
+* **MUT103** — pickle-boundary immutability: no writes through the
+  ``CampaignSpec`` handed to workers (:mod:`.mut103`).
 
 Entry points: :func:`analyze` for an in-memory file set (the CLI driver
 shares its per-file :class:`~repro.lint.core.Suppressions` objects so
@@ -32,7 +40,7 @@ from ..core import (
     iter_python_files,
     violation_sort_key,
 )
-from . import det101, obs101, rng101
+from . import det101, mut101, mut102, mut103, obs101, rng101
 from .cache import FactsCache
 from .facts import FACTS_VERSION, FileFacts, extract_facts  # noqa: F401  (re-export)
 from .graph import DEFAULT_ROOTS, ProgramGraph, build_graph  # noqa: F401
@@ -42,6 +50,9 @@ PROGRAM_RULES: Dict[str, str] = {
     det101.RULE: det101.DESCRIPTION,
     rng101.RULE: rng101.DESCRIPTION,
     obs101.RULE: obs101.DESCRIPTION,
+    mut101.RULE: mut101.DESCRIPTION,
+    mut102.RULE: mut102.DESCRIPTION,
+    mut103.RULE: mut103.DESCRIPTION,
 }
 
 
@@ -111,6 +122,11 @@ def run_rules(
         for path, facts in program.facts.items():
             if obs101.in_scope(facts.module):
                 program.ran_rules[path].add(obs101.RULE)
+    for module in (mut101, mut102, mut103):
+        if module.RULE in chosen:
+            raw.extend(module.check(program.graph, program.facts))
+            for path in suppressions:
+                program.ran_rules[path].add(module.RULE)
     kept: List[Violation] = []
     for violation in raw:
         supp = suppressions.get(violation.path)

@@ -20,7 +20,25 @@ import json
 import os
 from typing import Any, Dict, Optional
 
+from . import det101, mut101, mut102, mut103, obs101, rng101
 from .facts import FACTS_VERSION, FileFacts, extract_facts
+
+#: Every whole-program checker whose logic version invalidates the cache.
+_CHECKERS = (det101, rng101, obs101, mut101, mut102, mut103)
+
+
+def checker_token() -> str:
+    """One string fingerprinting every checker's logic version.
+
+    Facts themselves are a pure function of file bytes, but a cached
+    document written by an older repo checkout may predate a rule edit
+    that changed *what facts mean* (new store kinds, different alias
+    handling).  Folding each rule's ``VERSION`` into the cache key means
+    bumping a checker constant is enough to flush every stale entry.
+    """
+    return ",".join(
+        "%s=%d" % (module.RULE, module.VERSION) for module in _CHECKERS
+    )
 
 
 def content_hash(source: str) -> str:
@@ -46,6 +64,8 @@ class FactsCache:
             return
         if not isinstance(payload, dict) or payload.get("version") != FACTS_VERSION:
             return
+        if payload.get("checkers") != checker_token():
+            return  # a rule's logic changed; every cached fact is suspect
         files = payload.get("files")
         if isinstance(files, dict):
             self.entries = files
@@ -71,7 +91,11 @@ class FactsCache:
     def save(self) -> None:
         if self.cache_path is None:
             return
-        payload = {"version": FACTS_VERSION, "files": self.entries}
+        payload = {
+            "version": FACTS_VERSION,
+            "checkers": checker_token(),
+            "files": self.entries,
+        }
         tmp_path = self.cache_path + ".tmp"
         directory = os.path.dirname(os.path.abspath(self.cache_path))
         os.makedirs(directory, exist_ok=True)

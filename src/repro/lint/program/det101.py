@@ -37,6 +37,10 @@ DESCRIPTION = (
     "wallclock is the single allowed wall-clock sink)"
 )
 
+#: Bumped when this checker's logic changes; folded into the facts-cache
+#: key so stale cached analysis never survives a rule edit.
+VERSION = 1
+
 #: witness: (next function on the chain or None, banned target, anchor line)
 _Witness = Tuple[Optional[str], str, int]
 

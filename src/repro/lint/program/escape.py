@@ -1,0 +1,296 @@
+"""Shared machinery for the mutation rules: world model + reachability.
+
+The three MUT rules answer one question from three directions: *which
+writes can touch the shared world, and does the RunState registry
+account for them?*  This module owns the pieces they share:
+
+* :class:`WorldModel` — every class declaration in the program joined
+  with its ``@run_state(...)`` registration (fields rewound per run,
+  ``shared=`` caches that survive the rewind, ``constructed_per_run``
+  instances that never outlive a run);
+* :func:`reachable_from` — forward reachability over the call graph
+  with the **build cut** applied: edges into ``repro.netsim.build`` or
+  into constructors (``__init__`` / ``__post_init__`` / ``from_config``
+  / ``build_internet``) are not followed, because build-phase writes
+  construct the world rather than mutate it mid-run (ShardSan applies
+  the identical exemption at runtime);
+* :func:`expand` — alias expansion of store paths against the
+  function's single-assignment alias map (``slots = self._slots`` makes
+  ``slots.append(cb)`` a write to ``self._slots``);
+* :func:`resolve_store` — the store-to-world-field resolution the rules
+  interpret: a write is attributed to registered per-run state, to a
+  ``shared`` cache, to unregistered world state (a finding), or skipped
+  when it provably targets non-world state.
+
+Resolution order for an expanded dotted path:
+
+1. single-component paths are locals — skipped;
+2. ``self.field`` inside a world class checks ``field`` against the
+   class's own registration;
+3. longer paths pass if any *intermediate* component is a registered
+   field program-wide (the **handle rule**: ``self.stats.probes += 1``
+   mutates through the registered per-run handle ``stats``);
+4. otherwise the final field name is looked up program-wide: if it is
+   declared by at least one world class and by **no** non-world class,
+   the write is attributed to those world declarers (``router.limiter.
+   observer = None`` resolves through ``observer`` to the bucket
+   classes); a field declared on both sides of the world boundary is
+   ambiguous and skipped — the rules only report what they can prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .facts import FileFacts
+from .graph import ProgramGraph
+
+#: Modules whose classes make up the shared simulated world.
+WORLD_PREFIX = "repro.netsim"
+
+#: The build cut: writes reached only through these are world
+#: *construction*, not mid-run mutation.
+BUILD_CUT_MODULES = frozenset({"repro.netsim.build"})
+BUILD_CUT_NAMES = frozenset(
+    {"__init__", "__post_init__", "from_config", "build_internet"}
+)
+
+#: Shard-worker entry points (MUT101 roots): everything a worker process
+#: executes is reachable from these.
+WORKER_ROOTS = (
+    "repro.prober.parallel.run_shard",
+    "repro.prober.parallel.run_single",
+)
+
+#: The rewind entry point (MUT102 root).
+REWIND_ROOTS = ("repro.netsim.internet.Internet.fresh_run_state",)
+
+#: Alias chains longer than this are degenerate (`x = x.next` style);
+#: expansion stops rather than looping.
+ALIAS_EXPANSION_LIMIT = 4
+
+
+def is_world_module(module: str) -> bool:
+    return module == WORLD_PREFIX or module.startswith(WORLD_PREFIX + ".")
+
+
+@dataclass
+class ClassModel:
+    """One class declaration joined with its RunState registration."""
+
+    module: str
+    name: str
+    line: int
+    path: str  # defining file
+    fields: Dict[str, int]  # declared field -> declaration line
+    registered: bool
+    reg_line: Optional[int]
+    run_state: Set[str]
+    run_shared: Set[str]
+    per_run: bool
+
+    @property
+    def world(self) -> bool:
+        return is_world_module(self.module)
+
+    @property
+    def label(self) -> str:
+        return "%s.%s" % (self.module.rsplit(".", 1)[-1], self.name)
+
+    def covers(self, name: str) -> bool:
+        return name in self.run_state or name in self.run_shared
+
+
+@dataclass
+class WorldModel:
+    """All class declarations in the program, indexed for resolution."""
+
+    classes: Dict[Tuple[str, str], ClassModel] = field(default_factory=dict)
+    #: field name -> classes declaring it (world and non-world alike).
+    by_field: Dict[str, List[ClassModel]] = field(default_factory=dict)
+    #: union of per-run fields over registered world classes.
+    registered_union: Set[str] = field(default_factory=set)
+    #: union of ``shared=`` fields over registered world classes.
+    shared_union: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_facts(cls, facts: Dict[str, FileFacts]) -> "WorldModel":
+        model = cls()
+        for path in sorted(facts):
+            file_facts = facts[path]
+            for info in file_facts.classes:
+                entry = ClassModel(
+                    module=file_facts.module,
+                    name=info["name"],
+                    line=info["line"],
+                    path=path,
+                    fields=dict(info["fields"]),
+                    registered=info["registered"],
+                    reg_line=info["reg_line"],
+                    run_state=set(info["run_state"]),
+                    run_shared=set(info["run_shared"]),
+                    per_run=info["per_run"],
+                )
+                key = (entry.module, entry.name)
+                if key in model.classes:
+                    continue  # duplicate class name in one module
+                model.classes[key] = entry
+                declared = set(entry.fields) | entry.run_state | entry.run_shared
+                for name in declared:
+                    model.by_field.setdefault(name, []).append(entry)
+                if entry.registered and entry.world:
+                    model.registered_union |= entry.run_state
+                    model.shared_union |= entry.run_shared
+        for declarers in model.by_field.values():
+            declarers.sort(key=lambda item: (item.module, item.name))
+        return model
+
+    def registered_world_classes(self) -> List[ClassModel]:
+        return sorted(
+            (
+                entry
+                for entry in self.classes.values()
+                if entry.registered and entry.world
+            ),
+            key=lambda item: (item.module, item.name),
+        )
+
+    def owner_of(self, graph: ProgramGraph, full: str) -> Optional[ClassModel]:
+        """The ClassModel enclosing a method node, if any."""
+        fact, module, _ = graph.nodes[full]
+        if not fact.method or "." not in fact.qname:
+            return None
+        class_name = fact.qname.rsplit(".", 2)[-2]
+        return self.classes.get((module, class_name))
+
+
+# ---------------------------------------------------------------------------
+# reachability with the build cut
+
+
+@dataclass
+class Reach:
+    """How a function was reached: the root plus a parent pointer."""
+
+    root: str
+    parent: Optional[str]
+    line: int  # call line in the parent (0 for roots)
+
+
+def is_cut(graph: ProgramGraph, full: str) -> bool:
+    fact, module, _ = graph.nodes[full]
+    if module in BUILD_CUT_MODULES:
+        return True
+    return fact.qname.rsplit(".", 1)[-1] in BUILD_CUT_NAMES
+
+
+def reachable_from(
+    graph: ProgramGraph, roots: Sequence[str]
+) -> Dict[str, Reach]:
+    """Forward BFS from the roots present in the graph, never following
+    an edge into the build cut.  Deterministic: roots and edges are
+    visited in sorted/recorded order, so parent pointers (and therefore
+    witness chains) are stable."""
+    reached: Dict[str, Reach] = {}
+    for root in sorted(roots):
+        if root not in graph.nodes or root in reached:
+            continue
+        queue = [root]
+        reached[root] = Reach(root=root, parent=None, line=0)
+        while queue:
+            current = queue.pop(0)
+            for edge in graph.edges.get(current, ()):
+                if edge.dst in reached or is_cut(graph, edge.dst):
+                    continue
+                reached[edge.dst] = Reach(
+                    root=root, parent=current, line=edge.line
+                )
+                queue.append(edge.dst)
+    return reached
+
+
+def witness_chain(
+    graph: ProgramGraph, reached: Dict[str, Reach], full: str
+) -> List[str]:
+    """Display names from the root down to ``full`` (inclusive)."""
+    chain: List[str] = []
+    current: Optional[str] = full
+    seen: Set[str] = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        chain.append(graph.display(current))
+        current = reached[current].parent
+    chain.reverse()
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# store path resolution
+
+
+def expand(path: str, aliases: Dict[str, str]) -> str:
+    """Expand the leading component of ``path`` through the alias map."""
+    for _ in range(ALIAS_EXPANSION_LIMIT):
+        head, sep, rest = path.partition(".")
+        replacement = aliases.get(head)
+        if replacement is None or replacement.partition(".")[0] == head:
+            break
+        path = replacement + sep + rest
+    return path
+
+
+#: resolve_store verdicts.
+OK = "ok"
+SKIP = "skip"
+UNREGISTERED = "unregistered"
+
+
+@dataclass
+class StoreResolution:
+    verdict: str  # OK | SKIP | UNREGISTERED
+    #: world classes the write is attributed to (empty for handle-rule
+    #: passes, where the write goes through a registered handle).
+    classes: List[ClassModel] = field(default_factory=list)
+    #: final field the write targets (None when skipped).  Declared last:
+    #: the annotation binds ``field`` in the class namespace, which would
+    #: shadow :func:`dataclasses.field` for any later default_factory.
+    field: Optional[str] = None
+
+
+def resolve_store(
+    parts: Sequence[str],
+    owner: Optional[ClassModel],
+    model: WorldModel,
+) -> StoreResolution:
+    """Classify one alias-expanded store path (see module docstring)."""
+    if len(parts) < 2:
+        return StoreResolution(SKIP)  # bare local
+    known = model.registered_union | model.shared_union
+    if parts[0] == "self":
+        if owner is None or not owner.world:
+            return StoreResolution(SKIP)  # a class's own non-world state
+        target = parts[1]
+        if len(parts) == 2:
+            if owner.covers(target):
+                return StoreResolution(OK, field=target, classes=[owner])
+            return StoreResolution(UNREGISTERED, field=target, classes=[owner])
+        # handle rule: writing *through* registered per-run state.
+        if any(component in known for component in parts[1:-1]):
+            return StoreResolution(OK, field=parts[-1])
+        return StoreResolution(UNREGISTERED, field=parts[-1], classes=[owner])
+    # Non-self path: handle rule first, then name-based attribution.
+    if len(parts) > 2 and any(component in known for component in parts[1:-1]):
+        return StoreResolution(OK, field=parts[-1])
+    target = parts[-1]
+    declarers = model.by_field.get(target, [])
+    world = [entry for entry in declarers if entry.world]
+    outside = [entry for entry in declarers if not entry.world]
+    if not world or outside:
+        # Not world state, or ambiguous across the world boundary.
+        return StoreResolution(SKIP)
+    if any(entry.covers(target) for entry in world):
+        return StoreResolution(
+            OK, field=target, classes=[e for e in world if e.covers(target)]
+        )
+    return StoreResolution(UNREGISTERED, field=target, classes=world)

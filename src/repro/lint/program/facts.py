@@ -59,10 +59,11 @@ from ..checkers.det001 import (
     WALLCLOCK_EXEMPT_MODULES,
 )
 from ..checkers.det003 import BOUNDARY_CLASSES
+from . import mutation
 
 #: Bump whenever the fact schema or extraction logic changes; stale
 #: cache entries are discarded on version mismatch.
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: ``# repro-lint: program-root`` on a ``def`` line marks the function
 #: as a DET101 reachability root (an entry point the engine or the
@@ -140,6 +141,10 @@ class FunctionFact:
     refs: List[Tuple[str, int]] = field(default_factory=list)
     #: random.Random sites: {"line", "tags": [...]}
     rng_sites: List[Dict[str, Any]] = field(default_factory=list)
+    #: mutation facts: {"path", "line", "kind"} (see :mod:`.mutation`).
+    stores: List[Dict[str, Any]] = field(default_factory=list)
+    #: single-assigned local -> the pure attribute chain it aliases.
+    aliases: Dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -152,6 +157,8 @@ class FunctionFact:
             "calls": self.calls,
             "refs": [list(item) for item in self.refs],
             "rng_sites": self.rng_sites,
+            "stores": self.stores,
+            "aliases": self.aliases,
         }
 
     @classmethod
@@ -166,6 +173,8 @@ class FunctionFact:
             calls=list(data["calls"]),
             refs=[(item[0], item[1]) for item in data["refs"]],
             rng_sites=list(data["rng_sites"]),
+            stores=list(data.get("stores", [])),
+            aliases=dict(data.get("aliases", {})),
         )
 
 
@@ -179,6 +188,8 @@ class FileFacts:
     boundary_rng: List[Dict[str, Any]] = field(default_factory=list)
     #: OBS101 findings (module scoping applied later): {"line", "col", "detail"}
     obs_flows: List[Dict[str, Any]] = field(default_factory=list)
+    #: class declarations + @run_state registrations (see :mod:`.mutation`).
+    classes: List[Dict[str, Any]] = field(default_factory=list)
     #: True when the file failed to parse (facts are empty, not absent).
     parse_error: bool = False
 
@@ -188,6 +199,7 @@ class FileFacts:
             "functions": [fact.to_dict() for fact in self.functions],
             "boundary_rng": self.boundary_rng,
             "obs_flows": self.obs_flows,
+            "classes": self.classes,
             "parse_error": self.parse_error,
         }
 
@@ -198,6 +210,7 @@ class FileFacts:
             functions=[FunctionFact.from_dict(item) for item in data["functions"]],
             boundary_rng=list(data["boundary_rng"]),
             obs_flows=list(data["obs_flows"]),
+            classes=list(data.get("classes", [])),
             parse_error=data["parse_error"],
         )
 
@@ -222,6 +235,7 @@ def extract_facts(source: str, module: str) -> FileFacts:
     facts.functions.sort(key=lambda fact: (fact.line, fact.qname))
     _extract_boundary_rng(tree, origins, facts)
     _extract_obs_flows(tree, origins, facts)
+    facts.classes = mutation.class_facts(tree)
     return facts
 
 
@@ -336,6 +350,8 @@ def _function_fact(
             tags = _classify_seed(node.args[0], origins, env, params)
             fact.rng_sites.append({"line": node.lineno, "tags": sorted(tags)})
     fact.banned.sort(key=lambda item: (item[1], item[0]))
+    fact.stores = mutation.store_facts(_own_nodes(scope))
+    fact.aliases = mutation.alias_facts(env)
     return fact
 
 
@@ -371,6 +387,12 @@ def _call_fact(
         ],
         "kwargs": {
             kw.arg: sorted(_classify_seed(kw.value, origins, env, params))
+            for kw in node.keywords
+            if kw.arg is not None
+        },
+        "arg_paths": [mutation.dotted_path(arg) for arg in node.args],
+        "kwarg_paths": {
+            kw.arg: mutation.dotted_path(kw.value)
             for kw in node.keywords
             if kw.arg is not None
         },

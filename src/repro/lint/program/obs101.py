@@ -30,6 +30,10 @@ DESCRIPTION = (
     "prober control flow or state (telemetry is observe-only)"
 )
 
+#: Bumped when this checker's logic changes; folded into the facts-cache
+#: key so stale cached analysis never survives a rule edit.
+VERSION = 1
+
 
 def in_scope(module: str) -> bool:
     parts = module.split(".")

@@ -28,6 +28,10 @@ DESCRIPTION = (
     "CampaignSpec worker boundary"
 )
 
+#: Bumped when this checker's logic changes; folded into the facts-cache
+#: key so stale cached analysis never survives a rule edit.
+VERSION = 1
+
 #: How many caller hops to follow when a seed depends on a parameter.
 MAX_PARAM_DEPTH = 4
 

@@ -49,6 +49,7 @@ def sarif_document(
             "id": rule,
             "name": rule,
             "shortDescription": {"text": rules[rule]},
+            "helpUri": "%s#%s" % (TOOL_URI, rule.lower()),
             "defaultConfiguration": {"level": "error"},
         }
         for rule in sorted(rules)

@@ -1,0 +1,349 @@
+"""ShardSan — the runtime shared-world write sanitizer.
+
+MUT101 proves statically that worker-reachable code only writes
+registered per-run state; ShardSan checks what a *running* campaign
+actually writes.  Inside a ``ShardSan`` region every class registered
+via :func:`repro.netsim.runstate.run_state` gets a guarded
+``__setattr__``: an attribute write that is neither a registered
+per-run field, a ``shared=`` cache, nor part of object construction is
+recorded (and, in ``raise`` mode, aborts on the spot)::
+
+    with ShardSan(mode="record", scope="repro") as san:
+        world = _world_for(spec.internet)
+        san.watch(world)                  # wrap unregistered containers
+        run_parallel(spec, shards=4, processes=1)
+    assert not san.reports
+
+``watch`` covers the half ``__setattr__`` cannot see: mutating the
+*contents* of an unregistered container field (``router.interfaces
+.append(...)``, ``truth.routers[...] = ...``) never triggers a setattr.
+Watching a built world replaces every plain ``list``/``dict`` attribute
+that is **not** covered by a ``@run_state`` registration with a tracked
+subclass whose mutators report before delegating; registered containers
+(``Router.atomic_frag_until``) and ``shared=`` caches
+(``Internet._path_cache``) stay untouched because mutating them is the
+sanctioned contract.  On exit every tracked container is converted back
+to its plain type, preserving whatever mutations record mode let
+through.
+
+Two standing exemptions mirror the static build cut exactly:
+
+* callers in ``repro.netsim.build`` — constructing a world is not
+  mutating one (MUT101 cuts the same edges);
+* this module itself, so wrapping/unwrapping cannot trip the wires.
+
+Scoping follows DetSan: ``scope="repro"`` trips only on calls from
+``repro.*`` modules, so the test harness and stdlib internals pass
+through.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Set, Tuple
+
+from ..netsim.runstate import RunState
+
+#: Caller-module prefixes that never trip (see module docstring).
+_EXEMPT_PREFIXES = ("repro.lint.shardsan", "repro.netsim.build")
+
+#: Container mutators guarded on tracked lists.
+_LIST_MUTATORS = (
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "__setitem__",
+    "__delitem__",
+    "__iadd__",
+    "__imul__",
+)
+
+#: Container mutators guarded on tracked dicts.
+_DICT_MUTATORS = (
+    "__setitem__",
+    "__delitem__",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "__ior__",
+)
+
+
+class ShardSanViolation(RuntimeError):
+    """An unregistered world write happened inside a ShardSan region."""
+
+
+class ShardSanUsageError(RuntimeError):
+    """ShardSan itself was misconfigured."""
+
+
+@dataclass
+class ShardSanReport:
+    """One recorded unregistered write."""
+
+    kind: str  # "setattr" | "list" | "dict"
+    target: str  # e.g. "Internet.counter" or "Router.interfaces.append"
+    caller: str  # __name__ of the calling module
+    stack: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return "unregistered %s write %s from %s" % (
+            self.kind,
+            self.target,
+            self.caller,
+        )
+
+
+def _slot_names(cls: type) -> List[str]:
+    """All slot names declared along the MRO (deduplicated, in order)."""
+    names: List[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _allowed_fields(cls: type) -> Set[str]:
+    """Fields a registered class may write outside construction."""
+    allowed: Set[str] = set()
+    for klass in cls.__mro__:
+        if RunState.is_registered(klass):
+            allowed |= set(RunState.fields(klass))
+            allowed |= set(RunState.shared(klass))
+    return allowed
+
+
+class ShardSan:
+    """Context manager guarding writes to the shared simulated world."""
+
+    def __init__(
+        self,
+        mode: str = "raise",
+        scope: str = "repro",
+        max_stack_frames: int = 12,
+    ) -> None:
+        if mode not in ("raise", "record"):
+            raise ShardSanUsageError(
+                "mode must be 'raise' or 'record', got %r" % mode
+            )
+        if scope not in ("repro", "all"):
+            raise ShardSanUsageError(
+                "scope must be 'repro' or 'all', got %r" % scope
+            )
+        self.mode = mode
+        self.scope = scope
+        self.max_stack_frames = max_stack_frames
+        self.reports: List[ShardSanReport] = []
+        #: LIFO (cls, name, original or None) class-attribute restore stack.
+        self._patched: List[Tuple[type, str, Any]] = []
+        #: (object, attr, plain type) of containers wrapped by watch().
+        self._watched: List[Tuple[Any, str, type]] = []
+        #: ids of instances currently inside __init__ (writes exempt).
+        self._constructing: Set[int] = set()
+
+    # -- region management -------------------------------------------------
+
+    def __enter__(self) -> "ShardSan":
+        try:
+            for cls in RunState.classes():
+                self._guard_class(cls)
+        except Exception:
+            self._restore()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unwatch()
+        self._restore()
+
+    def _guard_class(self, cls: type) -> None:
+        allowed = _allowed_fields(cls)
+        original_setattr = cls.__setattr__
+        guarded = self._make_setattr(cls, allowed, original_setattr)
+        self._patch(cls, "__setattr__", guarded)
+        original_init = cls.__dict__.get("__init__")
+        if original_init is not None:
+            self._patch(cls, "__init__", self._make_init(original_init))
+
+    def _patch(self, cls: type, name: str, value: Any) -> None:
+        self._patched.append((cls, name, cls.__dict__.get(name)))
+        setattr(cls, name, value)
+
+    def _restore(self) -> None:
+        while self._patched:
+            cls, name, original = self._patched.pop()
+            if original is None:
+                delattr(cls, name)
+            else:
+                setattr(cls, name, original)
+
+    # -- tripwires ---------------------------------------------------------
+
+    def _make_setattr(
+        self, cls: type, allowed: Set[str], original: Callable[..., None]
+    ) -> Callable[..., None]:
+        sanitizer = self
+
+        def guarded_setattr(obj: Any, name: str, value: Any) -> None:
+            if name not in allowed and id(obj) not in sanitizer._constructing:
+                caller = sys._getframe(1).f_globals.get("__name__", "")
+                if sanitizer._trips(caller):
+                    sanitizer._report(
+                        "setattr", "%s.%s" % (cls.__name__, name), caller
+                    )
+            original(obj, name, value)
+
+        return guarded_setattr
+
+    def _make_init(self, original: Callable[..., None]) -> Callable[..., None]:
+        sanitizer = self
+
+        def guarded_init(obj: Any, *args: Any, **kwargs: Any) -> None:
+            sanitizer._constructing.add(id(obj))
+            try:
+                original(obj, *args, **kwargs)
+            finally:
+                sanitizer._constructing.discard(id(obj))
+
+        return guarded_init
+
+    def _trips(self, caller: str) -> bool:
+        if caller.startswith(_EXEMPT_PREFIXES):
+            return False
+        if self.scope == "repro" and not (
+            caller == "repro" or caller.startswith("repro.")
+        ):
+            return False
+        return True
+
+    def _report(self, kind: str, target: str, caller: str) -> None:
+        report = ShardSanReport(
+            kind=kind,
+            target=target,
+            caller=caller,
+            stack=traceback.format_stack(
+                sys._getframe(2), limit=self.max_stack_frames
+            ),
+        )
+        self.reports.append(report)
+        if self.mode == "raise":
+            raise ShardSanViolation(
+                "ShardSan: %s — worker-side code may only write state "
+                "registered via @run_state (see repro.netsim.runstate and "
+                "docs/determinism.md)" % report.summary()
+            )
+
+    # -- container watching ------------------------------------------------
+
+    def watch(self, internet: Any) -> int:
+        """Wrap every unregistered plain list/dict attribute reachable
+        from ``internet``'s world objects; returns the number wrapped."""
+        wrapped = 0
+        for obj in self._world_objects(internet):
+            wrapped += self._watch_object(obj)
+        return wrapped
+
+    def unwatch(self) -> None:
+        """Convert every tracked container back to its plain type."""
+        while self._watched:
+            obj, name, plain = self._watched.pop()
+            current = getattr(obj, name)
+            object.__setattr__(obj, name, plain(current))
+
+    def _world_objects(self, internet: Any) -> Iterable[Any]:
+        yield internet
+        built = getattr(internet, "built", None)
+        if built is not None:
+            yield built
+        truth = getattr(internet, "truth", None)
+        if truth is None:
+            return
+        yield truth
+        for asys in truth.ases.values():
+            yield asys
+            yield asys.plan
+        for router in truth.routers.values():
+            yield router
+        for subnet in truth.subnets.values():
+            yield subnet
+
+    def _watch_object(self, obj: Any) -> int:
+        cls = type(obj)
+        allowed = _allowed_fields(cls)
+        names = _slot_names(cls) or sorted(vars(obj))
+        wrapped = 0
+        for name in names:
+            if name in allowed:
+                continue  # mutating registered state is the contract
+            value = getattr(obj, name, None)
+            label = "%s.%s" % (cls.__name__, name)
+            if type(value) is list:
+                tracked: Any = _TrackedList(value)
+                tracked.__dict__["_shardsan"] = (self, label)
+            elif type(value) is dict:
+                tracked = _TrackedDict(value)
+                tracked._shardsan = (self, label)
+            else:
+                continue
+            object.__setattr__(obj, name, tracked)
+            self._watched.append((obj, name, type(value)))
+            wrapped += 1
+        return wrapped
+
+
+def _make_container_mutator(
+    base: type, method: str, kind: str
+) -> Callable[..., Any]:
+    original = getattr(base, method)
+
+    def guarded(self: Any, *args: Any, **kwargs: Any) -> Any:
+        hook = getattr(self, "_shardsan", None)
+        if hook is not None:
+            sanitizer, label = hook
+            caller = sys._getframe(1).f_globals.get("__name__", "")
+            if sanitizer._trips(caller):
+                sanitizer._report(
+                    kind, "%s.%s" % (label, method.strip("_")), caller
+                )
+        return original(self, *args, **kwargs)
+
+    guarded.__name__ = method
+    return guarded
+
+
+class _TrackedList(list):
+    """A list whose mutators report to the owning ShardSan."""
+
+    #: set post-construction to (sanitizer, label); plain lists created
+    #: by slicing/copying a tracked list have no hook and pass through.
+    _shardsan: Any = None
+
+
+class _TrackedDict(dict):
+    """A dict whose mutators report to the owning ShardSan."""
+
+    _shardsan: Any = None
+
+
+for _method in _LIST_MUTATORS:
+    setattr(
+        _TrackedList, _method, _make_container_mutator(list, _method, "list")
+    )
+for _method in _DICT_MUTATORS:
+    setattr(
+        _TrackedDict, _method, _make_container_mutator(dict, _method, "dict")
+    )
+del _method

@@ -1,0 +1,45 @@
+"""Pytest plugin wiring ShardSan into the test suite.
+
+Registered from the repository-root ``conftest.py``.  Opt in with::
+
+    pytest --shardsan
+
+Every test body then runs inside ``ShardSan(mode="raise",
+scope="repro")``: any ``repro.*`` code path that writes an attribute of
+a ``@run_state``-registered world class outside its registered per-run
+and ``shared=`` fields fails that test with a
+:class:`~repro.lint.shardsan.ShardSanViolation` carrying the offending
+stack.  Test code itself (``tests.*``), construction (``__init__``) and
+the world builder (``repro.netsim.build``) pass through — the contract
+is on campaign-time code, not on how worlds are made.
+
+Only the test *call* phase is sanitized; fixtures and collection run
+unpatched so session-scoped world builds are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.lint.shardsan import ShardSan
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--shardsan",
+        action="store_true",
+        default=False,
+        help="run every test inside the ShardSan shared-world sanitizer "
+        "(repro.* code must only write @run_state-registered world state)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: "pytest.Item") -> Iterator[None]:
+    if item.config.getoption("--shardsan"):
+        with ShardSan(mode="raise", scope="repro"):
+            yield
+    else:
+        yield

@@ -29,6 +29,7 @@ from heapq import heappop, heappush
 from typing import Callable, List, Optional
 
 from ..obs.metrics import NULL_REGISTRY, SCOPE_RUN, MetricsRegistry
+from .runstate import run_state
 
 #: Microseconds per second, the engine's clock unit.
 US_PER_SECOND = 1_000_000
@@ -44,6 +45,7 @@ _SLOT_MASK = (1 << _SLOT_BITS) - 1
 _COMPACT_MIN = 4096
 
 
+@run_state("_now", "_heap", "_slots", "_live", constructed_per_run=True)
 class Engine:
     """A minimal run-to-completion event scheduler over virtual time.
 

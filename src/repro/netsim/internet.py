@@ -29,6 +29,7 @@ from ..packet.icmpv6 import UnreachableCode
 from ..packet.ipv6 import PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, IPv6Header
 from .build import BuiltInternet, InternetConfig, Vantage, build_internet
 from .ecmp import flow_variant
+from .runstate import RunState, run_state  # noqa: F401  (public re-export)
 from .topology import Hop, Router, RouterRole, Subnet
 
 
@@ -110,8 +111,24 @@ class Response:
         self.kind = kind
 
 
+@run_state(
+    "probes",
+    "time_exceeded",
+    "echo_replies",
+    "unreachables",
+    "rate_limited",
+    "filtered",
+    "silent_terminal",
+    "tcp_responses",
+    "lost",
+    "packet_too_big",
+    constructed_per_run=True,
+)
 class InternetStats:
-    """Aggregate counters over everything the internet saw."""
+    """Aggregate counters over everything the internet saw.
+
+    A fresh block replaces ``Internet.stats`` wholesale on every rewind,
+    so every counter is per-run by construction."""
 
     __slots__ = (
         "probes",
@@ -157,12 +174,20 @@ def _hop_delay(router: Router, tier: int) -> int:
     return 250 + jitter % 900
 
 
+@run_state("stats", "tracer", "_rng", shared=("_path_cache",))
 class Internet:
     """Facade over a built ground-truth internet.
 
     Use :meth:`probe` for raw-bytes injection (what the probers do) or
     :meth:`trace_path` to inspect ground-truth paths (what the tests and
     validation do).
+
+    Run-scoped state is declared via :func:`~repro.netsim.runstate.
+    run_state` (re-exported here): ``stats``, ``tracer`` and the loss
+    RNG are rewound by :meth:`fresh_run_state`; ``_path_cache`` is
+    ``shared`` — path compilation is a pure function of the immutable
+    topology, so the cache deliberately survives the rewind.  MUT101/
+    MUT102 and ShardSan enforce the declaration (docs/determinism.md).
     """
 
     @classmethod
@@ -210,11 +235,11 @@ class Internet:
 
     def reset_dynamics(self) -> None:
         """Refill every rate limiter and clear per-router probing state
-        (atomic-fragment holds) — used between campaigns so trials don't
-        contaminate each other."""
+        (atomic-fragment holds and fragment Identification counters) —
+        used between campaigns so trials don't contaminate each other."""
         for router in self.truth.routers.values():
             router.limiter.reset()
-            router.atomic_frag_until.clear()
+            router.reset_probing_state()
         self.stats = InternetStats()
 
     def fresh_run_state(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .engine import US_PER_SECOND
+from .runstate import run_state
 
 #: Telemetry hook called after every limiter decision with
 #: ``(virtual_now, allowed, tokens_after)``.  Observers must be pure
@@ -24,8 +25,15 @@ from .engine import US_PER_SECOND
 BucketObserver = Callable[[int, bool, float], None]
 
 
+@run_state("_tokens", "_updated", "allowed", "denied", "observer")
 class TokenBucket:
-    """A continuous-refill token bucket evaluated at virtual timestamps."""
+    """A continuous-refill token bucket evaluated at virtual timestamps.
+
+    Every field except the provisioning knobs (``rate``, ``burst``) is
+    campaign-scoped: :meth:`reset` refills and zeroes the counters, and
+    the telemetry ``observer`` is unbound by ``Internet.detach_metrics``
+    — both reached from ``Internet.fresh_run_state``.
+    """
 
     __slots__ = ("rate", "burst", "_tokens", "_updated", "allowed", "denied", "observer")
 
@@ -90,6 +98,7 @@ class TokenBucket:
         )
 
 
+@run_state("allowed", "denied", "observer")
 class UnlimitedBucket:
     """A degenerate limiter that always permits (for unlimited hops)."""
 

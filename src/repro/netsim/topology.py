@@ -15,6 +15,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..addrs.prefix import Prefix
 from ..addrs.trie import PrefixTrie
 from .ratelimit import TokenBucket
+from .runstate import run_state
+
+#: Multiplier seeding each router's fragment Identification counter from
+#: its id — a pure function of the topology, so a rewound router replays
+#: the identical ID stream.
+_FRAG_SEED_MULT = 2246822519
 
 
 class RouterRole(enum.Enum):
@@ -45,9 +51,16 @@ class HostKind(enum.Enum):
     LOWBYTE_SERVER = "lowbyte-server"
 
 
+@run_state("atomic_frag_until", "_frag_value", "_frag_last")
 class Router:
     """A packet forwarder: interfaces, an ICMPv6 error rate limiter, and
-    response behaviour knobs."""
+    response behaviour knobs.
+
+    Campaign-scoped state — the RFC 6946 atomic-fragment holds and the
+    fragment Identification counter — is declared via :func:`run_state`
+    and rewound by :meth:`reset_probing_state`; everything else (the
+    interface list, response knobs) is immutable after the build.
+    """
 
     __slots__ = (
         "router_id",
@@ -93,7 +106,16 @@ class Router:
         self.atomic_frag_until: Dict[int, int] = {}
         # The router-wide Identification counter all interfaces share —
         # the very property alias resolution exploits.
-        self._frag_value = (router_id * 2246822519) & 0xFFFFFFFF
+        self._frag_value = (router_id * _FRAG_SEED_MULT) & 0xFFFFFFFF
+        self._frag_last = 0
+
+    def reset_probing_state(self) -> None:
+        """Rewind the per-campaign probing state: clear the RFC 6946
+        atomic-fragment holds and reseed the fragment Identification
+        counter to its just-built value, so a rewound shared world emits
+        the same ID stream a freshly built one would."""
+        self.atomic_frag_until.clear()
+        self._frag_value = (self.router_id * _FRAG_SEED_MULT) & 0xFFFFFFFF
         self._frag_last = 0
 
     def add_interface(self, addr: int) -> None:

@@ -54,7 +54,8 @@ class TestConstruction:
     def test_equality_hash(self, prefix):
         clone = Prefix(prefix.base, prefix.length)
         assert clone == prefix
-        assert hash(clone) == hash(prefix)
+        # Prefix hashes (base, length) ints — PYTHONHASHSEED-free.
+        assert hash(clone) == hash(prefix)  # repro-lint: disable=DET001
 
 
 class TestContainment:

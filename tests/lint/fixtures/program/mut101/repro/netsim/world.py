@@ -1,0 +1,18 @@
+"""Fixture world: one registered class with sanctioned and rogue writes."""
+
+from .runstate import run_state
+
+
+@run_state("stats", "tracer", shared=("_path_cache",))
+class Internet:
+    def probe(self, data):
+        self.stats = self.stats + 1
+        self._path_cache[data] = data
+        self.counter = self.counter + 1
+
+    def rebuild(self):
+        cache = self._scratch
+        cache.append(1)
+
+    def offline(self):
+        self.forgotten = 1

@@ -1,0 +1,19 @@
+"""Fixture worker entry points driving the shared world."""
+
+from ..netsim.world import Internet
+
+
+def run_shard(spec, shard, shards):  # repro-lint: program-root
+    world = Internet()
+    world.probe(spec)
+    world.rebuild()
+    helper(world)
+    return world
+
+
+def helper(world):
+    world.stats = 2
+
+
+def own_state(result):
+    result.count = 0

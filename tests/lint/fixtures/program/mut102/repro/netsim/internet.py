@@ -1,0 +1,21 @@
+"""Fixture rewind: the registry and the reset disagree three ways."""
+
+from .runstate import run_state
+
+
+@run_state("stats", "tracer", "ghost", shared=("_cache",))
+class Internet:
+    def fresh_run_state(self):
+        self.stats = 0
+        self.tracer = None
+        self._cache = {}
+        self.reset_helpers()
+
+    def reset_helpers(self):
+        self.scratch = []
+
+
+@run_state("events", constructed_per_run=True)
+class Engine:
+    def __init__(self):
+        self.events = []

@@ -1,0 +1,28 @@
+"""Fixture boundary: workers scribbling on the pickled spec."""
+
+
+def run_shard(spec, shard, shards):  # repro-lint: program-root
+    spec.targets = ()
+    configure(spec.internet)
+    runner = Runner()
+    runner.apply(spec)
+    return run(spec)
+
+
+def configure(config):
+    config.seed = 7
+
+
+def run(job):
+    job.name = "x"
+    return job
+
+
+class Runner:
+    def apply(self, spec):
+        spec.pps = 1.0
+
+
+def untouched(spec):
+    local = list(spec.targets)
+    return local

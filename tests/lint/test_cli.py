@@ -72,3 +72,22 @@ def test_missing_path_is_io_error():
     code, output = run([os.path.join(FIXTURES, "does_not_exist.py")])
     assert code == 2
     assert "error" in output
+
+
+def test_exclude_skips_prefixed_paths():
+    # Linting the fixture tree trips by design; excluding it yields a
+    # clean run over the same argument.
+    code, output = run([FIXTURES])
+    assert code == 1
+    code, output = run(["--exclude", FIXTURES, FIXTURES])
+    assert code == 0
+    assert "0 violations found" in output
+
+
+def test_exclude_normalizes_dot_and_trailing_slash():
+    from repro.lint.cli import excluded
+
+    assert excluded("tests/lint/fixtures/x.py", ["./tests/lint/fixtures/"])
+    assert excluded("tests/lint/fixtures", ["tests/lint/fixtures"])
+    # A prefix match is per path segment, not per character.
+    assert not excluded("tests/lint/fixtures_extra/x.py", ["tests/lint/fixtures"])

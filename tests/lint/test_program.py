@@ -148,11 +148,130 @@ def test_obs101_observe_path_is_clean():
     assert not any("clean.py" in v.path for v in violations)
 
 
+# -- MUT101: shared-world shard safety --------------------------------------
+
+
+def test_mut101_flags_unregistered_world_writes_only():
+    violations, _ = run_fixture("mut101", select=["MUT101"])
+    assert all(v.rule == "MUT101" for v in violations)
+    assert located(violations) == [("world.py", 11), ("world.py", 15)]
+
+
+def test_mut101_expands_aliases_to_the_underlying_field():
+    violations, _ = run_fixture("mut101", select=["MUT101"])
+    aliased = [v for v in violations if v.line == 15][0]
+    # `cache = self._scratch; cache.append(1)` resolves to the field.
+    assert "'self._scratch'" in aliased.message
+
+
+def test_mut101_witness_chain_names_the_worker_root():
+    violations, _ = run_fixture("mut101", select=["MUT101"])
+    direct = [v for v in violations if v.line == 11][0]
+    assert "shard worker root 'parallel.run_shard'" in direct.message
+    assert "parallel.run_shard -> world.Internet.probe" in direct.message
+
+
+def test_mut101_registered_shared_and_unreachable_writes_are_clean():
+    violations, _ = run_fixture("mut101", select=["MUT101"])
+    # line 9 (registered), 10 (shared cache), 18 (unreachable offline),
+    # and helper's name-based registered write are all sanctioned.
+    assert not any(v.line in (9, 10, 18) for v in violations)
+    assert not any("parallel.py" in v.path for v in violations)
+
+
+# -- MUT102: rewind completeness --------------------------------------------
+
+
+def test_mut102_flags_all_three_disagreement_kinds():
+    violations, _ = run_fixture("mut102", select=["MUT102"])
+    assert all(v.rule == "MUT102" for v in violations)
+    assert located(violations) == [
+        ("internet.py", 6),
+        ("internet.py", 11),
+        ("internet.py", 15),
+    ]
+
+
+def test_mut102_registered_but_never_reset_anchors_at_registration():
+    violations, _ = run_fixture("mut102", select=["MUT102"])
+    ghost = [v for v in violations if v.line == 6][0]
+    assert "'internet.Internet.ghost'" in ghost.message
+    assert "never resets it" in ghost.message
+
+
+def test_mut102_shared_field_must_survive_the_rewind():
+    violations, _ = run_fixture("mut102", select=["MUT102"])
+    cache = [v for v in violations if v.line == 11][0]
+    assert "'internet.Internet._cache'" in cache.message
+    assert "declared shared" in cache.message
+
+
+def test_mut102_reset_but_unregistered_shows_the_chain():
+    violations, _ = run_fixture("mut102", select=["MUT102"])
+    scratch = [v for v in violations if v.line == 15][0]
+    assert "'internet.Internet.scratch'" in scratch.message
+    assert (
+        "internet.Internet.fresh_run_state -> internet.Internet.reset_helpers"
+        in scratch.message
+    )
+
+
+def test_mut102_constructed_per_run_classes_are_exempt():
+    violations, _ = run_fixture("mut102", select=["MUT102"])
+    # Engine.events is registered and never reset, but Engine instances
+    # never outlive a run (constructed_per_run=True).
+    assert not any("Engine" in v.message for v in violations)
+
+
+# -- MUT103: pickle-boundary immutability ------------------------------------
+
+
+def test_mut103_flags_every_write_through_the_spec():
+    violations, _ = run_fixture("mut103", select=["MUT103"])
+    assert all(v.rule == "MUT103" for v in violations)
+    assert located(violations) == [
+        ("parallel.py", 5),
+        ("parallel.py", 13),
+        ("parallel.py", 17),
+        ("parallel.py", 23),
+    ]
+
+
+def test_mut103_taint_follows_sub_objects_and_renames():
+    violations, _ = run_fixture("mut103", select=["MUT103"])
+    by_line = {v.line: v.message for v in violations}
+    # spec.internet handed to configure(config) taints 'config'.
+    assert "'config.seed'" in by_line[13]
+    assert "parallel.run_shard -> parallel.configure" in by_line[13]
+    # spec handed to run(job) taints 'job'.
+    assert "'job.name'" in by_line[17]
+
+
+def test_mut103_method_calls_map_positional_args_past_self():
+    violations, _ = run_fixture("mut103", select=["MUT103"])
+    method = [v for v in violations if v.line == 23][0]
+    assert "'spec.pps'" in method.message
+    assert "parallel.Runner.apply" in method.message
+
+
+def test_mut103_reads_of_the_spec_are_clean():
+    violations, _ = run_fixture("mut103", select=["MUT103"])
+    # untouched() only reads spec.targets — and is not tainted anyway.
+    assert not any(v.line >= 26 for v in violations)
+
+
 # -- program mechanics ------------------------------------------------------
 
 
 def test_program_rules_registry_is_complete():
-    assert set(PROGRAM_RULES) == {"DET101", "RNG101", "OBS101"}
+    assert set(PROGRAM_RULES) == {
+        "DET101",
+        "RNG101",
+        "OBS101",
+        "MUT101",
+        "MUT102",
+        "MUT103",
+    }
 
 
 def test_program_output_is_deterministic_across_runs():
@@ -218,6 +337,26 @@ def test_cache_invalidates_only_the_edited_file(tmp_path):
     after, program = lint_program_paths([str(tree)], cache_path=cache_path)
     assert program.cache_misses == 1
     assert program.cache_hits > 0
+    assert [v.format() for v in baseline] == [v.format() for v in after]
+
+
+def test_cache_invalidated_by_checker_version_bump(tmp_path):
+    # A cache written under different checker logic versions is fully
+    # discarded: bumping any rule's VERSION must flush stale facts.
+    import json as json_mod
+
+    tree = _copy_fixture("det101", tmp_path)
+    cache_path = str(tmp_path / "facts.json")
+    baseline, program = lint_program_paths([str(tree)], cache_path=cache_path)
+    with open(cache_path) as handle:
+        payload = json_mod.load(handle)
+    assert "=" in payload["checkers"]  # e.g. "DET101=1,...,MUT103=1"
+    payload["checkers"] = payload["checkers"].replace("=1", "=0", 1)
+    with open(cache_path, "w") as handle:
+        json_mod.dump(payload, handle)
+    after, program2 = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program2.cache_hits == 0
+    assert program2.cache_misses == program.cache_misses
     assert [v.format() for v in baseline] == [v.format() for v in after]
 
 

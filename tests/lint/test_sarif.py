@@ -34,8 +34,18 @@ def test_sarif_driver_lists_every_rule():
     ids = [rule["id"] for rule in driver["rules"]]
     assert ids == sorted(ids)
     for rule in ("DET001", "DET002", "DET003", "DET101", "LNT001",
-                 "OBS101", "PKT001", "RNG101"):
+                 "MUT101", "MUT102", "MUT103", "OBS101", "PKT001", "RNG101"):
         assert rule in ids
+
+
+def test_sarif_rules_carry_description_and_help_uri():
+    from repro.lint.sarif import TOOL_URI
+
+    _, output = run_sarif([os.path.join(FIXTURES, "pkt001_bad.py")])
+    rules = json.loads(output)["runs"][0]["tool"]["driver"]["rules"]
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["helpUri"] == "%s#%s" % (TOOL_URI, rule["id"].lower())
 
 
 def test_sarif_result_links_rule_and_location():
