@@ -10,6 +10,12 @@ The merge is verified against the single-process reference each time, so
 the numbers measure the *correct* parallel path, not a diverging
 shortcut.
 
+Each run also carries a :class:`repro.obs.WallProfiler`, so the payload
+records a per-phase wall-clock breakdown (world build, pool startup,
+shard execution, IPC wait, result pickling, merge) per shard count, and
+the per-shard result-pickle byte count at the widest pool is a tracked
+regression number alongside the wall-clock figures.
+
 Speedup is asserted only when the machine actually has the cores: on the
 1-2 core containers CI uses, 4 workers time-slice one core and the run
 degenerates to serial-plus-overhead, which is not a regression.  Core
@@ -25,7 +31,7 @@ imports, forks, runs and merges.
 import os
 
 from repro.netsim import InternetConfig, build_internet, decoupled_dynamics
-from repro.obs import Stopwatch, dump_to_json
+from repro.obs import Stopwatch, WallProfiler, dump_to_json
 from repro.prober import CampaignSpec, run_parallel, run_single
 
 from .emit import emit_json, tracked_entry
@@ -82,10 +88,16 @@ def test_parallel_scaling(save_result):
     wall = {}
     pps_per_core = {}
     dumps = {}
+    profiles = {}
     for shards in SHARD_COUNTS:
+        profiler = WallProfiler()
         watch = Stopwatch()
-        merged = run_parallel(spec, shards=shards, processes=shards)
+        merged = run_parallel(
+            spec, shards=shards, processes=shards, profiler=profiler
+        )
         wall[shards] = watch.elapsed_seconds()
+        profiler.validate()
+        profiles[shards] = profiler.to_profile_dict()
 
         assert merged.sent == reference.sent
         assert [record_key(r) for r in merged.records] == [
@@ -99,12 +111,14 @@ def test_parallel_scaling(save_result):
         pps_per_core[shards] = merged.sent / wall[shards] / shards
         rows.append(
             "%d worker%s  %7.2fs   speedup %.2fx   %9.0f virtual pps/core"
+            "   %7d pickle B"
             % (
                 shards,
                 "s" if shards > 1 else " ",
                 wall[shards],
                 wall[1] / wall[shards],
                 pps_per_core[shards],
+                profiles[shards].get("pickle_bytes_total", 0),
             )
         )
 
@@ -138,6 +152,15 @@ def test_parallel_scaling(save_result):
         ),
         "wall_seconds_1w": tracked_entry(wall[1], direction="lower"),
     }
+    # Result-pickle traffic per shard at the widest pool: the IPC cost
+    # the counting pickler measures.  Growth here means fatter shard
+    # results crossing the pipe — a merge-pressure regression the wall
+    # clock alone can hide behind core count.
+    pickle_total = profiles[SHARD_COUNTS[-1]].get("pickle_bytes_total", 0)
+    if pickle_total:
+        tracked["pickle_bytes_per_shard"] = tracked_entry(
+            pickle_total / SHARD_COUNTS[-1], direction="lower"
+        )
     if cores >= 4 and not SMOKE:
         tracked["speedup_4w"] = tracked_entry(
             wall[1] / wall[4], direction="higher", threshold=0.15
@@ -159,6 +182,12 @@ def test_parallel_scaling(save_result):
             },
             "virtual_pps_per_core": {
                 str(shards): pps_per_core[shards] for shards in SHARD_COUNTS
+            },
+            # Per-phase wall-clock attribution for every shard count:
+            # world build/rewind, pool startup, shard execution, IPC
+            # wait, result pickling (with per-shard byte counts), merge.
+            "wallclock_profile": {
+                str(shards): profiles[shards] for shards in SHARD_COUNTS
             },
             "tracked": tracked,
             "metrics": dumps[SHARD_COUNTS[-1]],

@@ -38,11 +38,14 @@ from ..hitlist import make_targets
 from ..hitlist.transform import SeedItem
 from ..netsim import Internet, InternetConfig, build_internet
 from ..obs import (
+    NULL_PROFILER,
     ManifestError,
     MetricsRegistry,
     Stopwatch,
+    WallProfiler,
     build_manifest,
     read_manifest,
+    write_chrome_trace,
     write_manifest,
 )
 from ..prober import (
@@ -161,11 +164,18 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
     metrics_path = getattr(args, "metrics", None)
     detsan = getattr(args, "detsan", False)
     shardsan = getattr(args, "shardsan", False)
+    profile_path = getattr(args, "profile", None)
     if detsan and shardsan:
         out.write("--detsan and --shardsan are mutually exclusive\n")
         return 2
     if shardsan and args.prober != "yarrp6":
         out.write("--shardsan requires the yarrp6 prober (shared-world shards)\n")
+        return 2
+    if shardsan and profile_path:
+        out.write(
+            "--profile and --shardsan are mutually exclusive (shardsan runs "
+            "its own shard-width sweep)\n"
+        )
         return 2
     # The stopwatch is the run's only wall-clock read (top-level boundary,
     # reporting only — see repro.obs.wallclock); it never touches the sim.
@@ -176,26 +186,40 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
         out.write("--workers requires the yarrp6 prober (stateless shards)\n")
         return 2
 
+    # One profiler per campaign execution (detsan runs the campaign twice;
+    # the reported profile is the last, clean run's).  Profiling is
+    # observe-only: the .yrp6 bytes are identical with and without it.
+    profilers: List[WallProfiler] = []
+
     def run_once():
-        if workers > 1:
-            spec = CampaignSpec(
-                internet=world_config,
-                vantage=args.vantage,
-                targets=tuple(targets),
+        prof = WallProfiler() if profile_path else NULL_PROFILER
+        profilers.append(prof)
+        with prof.phase("probe", prober=args.prober, workers=workers):
+            if workers > 1:
+                spec = CampaignSpec(
+                    internet=world_config,
+                    vantage=args.vantage,
+                    targets=tuple(targets),
+                    pps=args.pps,
+                    config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
+                    metrics=metrics_path is not None,
+                )
+                return run_parallel(spec, shards=workers, profiler=prof)
+            internet = Internet.from_config(world_config, profiler=prof)
+            runner = _PROBERS[args.prober]
+            kwargs = {}
+            if args.prober == "yarrp6":
+                kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
+            registry = MetricsRegistry() if metrics_path else None
+            return runner(
+                internet,
+                args.vantage,
+                targets,
                 pps=args.pps,
-                config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
-                metrics=metrics_path is not None,
+                metrics=registry,
+                profiler=prof,
+                **kwargs,
             )
-            return run_parallel(spec, shards=workers)
-        internet = Internet.from_config(world_config)
-        runner = _PROBERS[args.prober]
-        kwargs = {}
-        if args.prober == "yarrp6":
-            kwargs = {"max_ttl": args.max_ttl, "fill": args.fill}
-        registry = MetricsRegistry() if metrics_path else None
-        return runner(
-            internet, args.vantage, targets, pps=args.pps, metrics=registry, **kwargs
-        )
 
     if detsan:
         # Dynamic cross-check of the static determinism rules: run the
@@ -275,6 +299,21 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             args.out,
         )
     )
+    wall_profile = None
+    if profile_path and profilers:
+        profiler = profilers[-1]
+        profiler.validate()
+        wall_profile = profiler.to_profile_dict()
+        write_chrome_trace(profile_path, profiler)
+        out.write(profiler.report() + "\n")
+        out.write(
+            "profile: %.1f%% of %.4fs attributed; Perfetto trace -> %s\n"
+            % (
+                100.0 * wall_profile["coverage"],
+                wall_profile["total_seconds"],
+                profile_path,
+            )
+        )
     if metrics_path:
         manifest = build_manifest(
             result,
@@ -284,6 +323,7 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             records_file=args.out,
             workers=workers,
             wall_seconds=stopwatch.elapsed_seconds() if stopwatch else None,
+            wall_profile=wall_profile,
         )
         write_manifest(metrics_path, manifest)
         out.write("manifest -> %s\n" % metrics_path)
@@ -330,6 +370,48 @@ def cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
             render_table(["series", "buckets", "total"], series_rows, title="series")
             + "\n"
         )
+
+    top = getattr(args, "top", 0) or 0
+    if top > 0:
+        ttl_entry = metrics.get("prober.ttl_yield")
+        if ttl_entry and ttl_entry.get("kind") == "counter_map":
+            ranked = sorted(
+                ttl_entry["values"], key=lambda item: (-item[1], item[0])
+            )
+            ttl_rows = [
+                [str(key), value] for key, value in ranked[:top]
+            ]
+            out.write(
+                render_table(
+                    ["ttl", "responses"],
+                    ttl_rows,
+                    title="top %d TTL yield" % top,
+                )
+                + "\n"
+            )
+        profile = manifest.get("wallclock", {}).get("profile")
+        if profile:
+            phases = sorted(
+                profile.get("phases", []),
+                key=lambda row: -row["self_seconds"],
+            )
+            phase_rows = [
+                [
+                    row["path"],
+                    row["count"],
+                    "%.4f" % row["self_seconds"],
+                    "%.4f" % row["total_seconds"],
+                ]
+                for row in phases[:top]
+            ]
+            out.write(
+                render_table(
+                    ["phase", "count", "self(s)", "total(s)"],
+                    phase_rows,
+                    title="top %d profiler phases by self time" % top,
+                )
+                + "\n"
+            )
     return 0
 
 
@@ -445,11 +527,28 @@ def build_parser() -> argparse.ArgumentParser:
         "require zero writes to unregistered state (yarrp6 only; exit 1 "
         "on any report)",
     )
+    probe.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile the pipeline's wall-clock phases (world build, pool "
+        "startup, shard execution, result pickling/IPC, merge), write a "
+        "Perfetto-loadable Chrome trace to PATH and print the phase "
+        "report; reporting only — the .yrp6 bytes are unchanged",
+    )
     probe.add_argument("--out", required=True)
     probe.set_defaults(handler=cmd_probe)
 
     stats = commands.add_parser("stats", help="summarize a run manifest")
     stats.add_argument("manifest", help="manifest JSON written by probe --metrics")
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also render the top-N TTLs by response yield and, when the "
+        "manifest has a wall-clock profile, the top-N profiler phases "
+        "by self time",
+    )
     stats.set_defaults(handler=cmd_stats)
 
     analyze = commands.add_parser("analyze", help="analyze campaign output")

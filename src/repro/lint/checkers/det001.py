@@ -83,9 +83,12 @@ WALLCLOCK_CALLS = frozenset(
     }
 )
 
-#: The single allowlisted wall-clock boundary (see its module docstring
-#: for the rules callers must follow).
-WALLCLOCK_EXEMPT_MODULES = frozenset({"repro.obs.wallclock"})
+#: The allowlisted wall-clock boundaries (see each module's docstring
+#: for the rules callers must follow): the Stopwatch boundary and the
+#: host-time profiler.  Entropy sources stay banned everywhere.
+WALLCLOCK_EXEMPT_MODULES = frozenset(
+    {"repro.obs.wallclock", "repro.obs.profiler"}
+)
 
 #: Modules whose entire surface is banned.
 BANNED_PREFIXES = ("secrets.",)

@@ -17,7 +17,7 @@ code pass through to the real functions.  Two standing exemptions
 mirror the static rules:
 
 * wall-clock reads from ``repro.obs.wallclock`` (the single allowlisted
-  boundary — see :data:`WALLCLOCK_MODULE`);
+  boundary — see :data:`WALLCLOCK_MODULES`);
 * this module itself (so nested regions and the pytest plugin can
   manage patches while one is active).
 
@@ -43,9 +43,11 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Tuple
 
-#: The one module whose *time* reads pass through even in scope="repro"
-#: (kept in sync with repro.lint.checkers.det001.WALLCLOCK_EXEMPT_MODULES).
-WALLCLOCK_MODULE = "repro.obs.wallclock"
+#: The modules whose *time* reads pass through even in scope="repro"
+#: (kept in sync with repro.lint.checkers.det001.WALLCLOCK_EXEMPT_MODULES):
+#: the Stopwatch boundary and the wall-clock profiler.  Entropy reads
+#: trip regardless of caller.
+WALLCLOCK_MODULES = frozenset({"repro.obs.wallclock", "repro.obs.profiler"})
 
 #: Caller-module prefixes that always pass through: DetSan's own
 #: machinery must be able to run while patched.
@@ -229,6 +231,6 @@ class DetSan:
             caller == "repro" or caller.startswith("repro.")
         ):
             return False
-        if kind == "time" and caller == WALLCLOCK_MODULE:
+        if kind == "time" and caller in WALLCLOCK_MODULES:
             return False
         return True

@@ -63,7 +63,7 @@ from . import mutation
 
 #: Bump whenever the fact schema or extraction logic changes; stale
 #: cache entries are discarded on version mismatch.
-FACTS_VERSION = 2
+FACTS_VERSION = 3
 
 #: ``# repro-lint: program-root`` on a ``def`` line marks the function
 #: as a DET101 reachability root (an entry point the engine or the
@@ -91,13 +91,25 @@ OBS_TYPES = frozenset(
         "Metric",
         "Span",
         "Stopwatch",
+        "WallProfiler",
+        "NullWallProfiler",
     }
 )
 
 #: Handle-producing methods on obs objects — their results are still
 #: handles, so assigning them to ``self.x`` is the sanctioned idiom.
 OBS_FACTORY_METHODS = frozenset(
-    {"counter", "gauge", "counter_map", "series", "histogram", "span", "stopwatch"}
+    {
+        "counter",
+        "gauge",
+        "counter_map",
+        "series",
+        "histogram",
+        "span",
+        "stopwatch",
+        "phase",
+        "agg",
+    }
 )
 
 #: Readback methods — their results are *data* and must not steer the
@@ -118,6 +130,11 @@ OBS_READBACK_METHODS = frozenset(
         "percentile",
         "mean",
         "value",
+        "total_seconds",
+        "coverage",
+        "report",
+        "to_profile_dict",
+        "export",
     }
 )
 

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..addrs.prefix import Prefix
 from ..obs.metrics import DEFAULT_BUCKET_US, MetricsRegistry
+from ..obs.profiler import NULL_PROFILER, WallProfiler
 from ..obs.trace import NULL_TRACER, Tracer
 from ..packet import fragment, icmpv6, ipv6, tcp, udp
 from ..packet.icmpv6 import UnreachableCode
@@ -191,15 +192,26 @@ class Internet:
     """
 
     @classmethod
-    def from_config(cls, config: Optional[InternetConfig] = None) -> "Internet":
+    def from_config(
+        cls,
+        config: Optional[InternetConfig] = None,
+        profiler: Optional[WallProfiler] = None,
+    ) -> "Internet":
         """Rebuild the full simulated internet from its spec.
 
         Worlds are pure functions of their :class:`InternetConfig` (every
         quantity is drawn from the config's seed), so a config is all a
         parallel shard worker needs to reconstruct the identical internet
         in its own process — no topology object ever crosses a pipe.
+
+        ``profiler`` attributes the build's host cost to a ``world.build``
+        phase (wall-clock reporting only; the built world is identical
+        with or without it).
         """
-        return cls(build_internet(config))
+        prof = profiler if profiler is not None else NULL_PROFILER
+        with prof.phase("world.build"):
+            built = build_internet(config)
+        return cls(built)
 
     def __init__(self, built: Optional[BuiltInternet] = None, config: Optional[InternetConfig] = None) -> None:
         if built is None:

@@ -37,6 +37,15 @@ from .metrics import (
     series_cumulative,
     series_points,
 )
+from .chrometrace import chrome_trace, trace_events, write_chrome_trace
+from .profiler import (
+    NULL_PROFILER,
+    NullWallProfiler,
+    WallProfileError,
+    WallProfiler,
+    WallSpan,
+    pickled_bytes,
+)
 from .trace import NULL_TRACER, NullTracer, Span, TraceError, Tracer
 from .wallclock import Stopwatch
 
@@ -52,10 +61,12 @@ __all__ = [
     "MetricDump",
     "MetricError",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "NullWallProfiler",
     "SCOPE_MERGE",
     "SCOPE_RUN",
     "Span",
@@ -63,13 +74,20 @@ __all__ = [
     "TimeSeries",
     "TraceError",
     "Tracer",
+    "WallProfileError",
+    "WallProfiler",
+    "WallSpan",
     "build_manifest",
+    "chrome_trace",
     "deterministic_view",
     "dump_to_json",
     "manifest_dumps",
     "merge_dumps",
+    "pickled_bytes",
     "read_manifest",
     "series_cumulative",
     "series_points",
+    "trace_events",
+    "write_chrome_trace",
     "write_manifest",
 ]

@@ -42,6 +42,7 @@ def build_manifest(
     records_file: Optional[str] = None,
     workers: int = 1,
     wall_seconds: Optional[float] = None,
+    wall_profile: Optional[Dict[str, Any]] = None,
 ) -> Manifest:
     """Assemble the manifest document for one finished campaign."""
     manifest: Manifest = {
@@ -66,8 +67,15 @@ def build_manifest(
         manifest["world"] = world
     if records_file is not None:
         manifest["records_file"] = records_file
-    if wall_seconds is not None:
-        manifest["wallclock"] = {"seconds": wall_seconds}
+    if wall_seconds is not None or wall_profile is not None:
+        # Host-dependent numbers live under ONE quarantined key, so
+        # deterministic_view strips the whole block (profile included).
+        wallclock: Dict[str, Any] = {}
+        if wall_seconds is not None:
+            wallclock["seconds"] = wall_seconds
+        if wall_profile is not None:
+            wallclock["profile"] = wall_profile
+        manifest["wallclock"] = wallclock
     return manifest
 
 

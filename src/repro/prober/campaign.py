@@ -20,6 +20,7 @@ from ..obs.metrics import (
     MetricDump,
     MetricsRegistry,
 )
+from ..obs.profiler import NULL_AGG, NULL_PROFILER, WallProfiler
 from ..obs.trace import NULL_TRACER, Tracer
 from .doubletree import DoubletreeConfig, DoubletreeProber
 from .records import ProbeRecord
@@ -49,6 +50,10 @@ class CampaignResult:
     extras: Dict[str, float] = field(default_factory=dict)
     #: Telemetry dump (None unless the campaign ran with a registry).
     metrics: Optional[MetricDump] = None
+    #: Exported wall-clock profile (None unless the run was profiled).
+    #: Host-dependent reporting data: never serialized into ``.yrp6``
+    #: output, never merged into metrics, never read by simulation code.
+    wall_profile: Optional[Dict[str, Any]] = None
 
     @property
     def yield_per_probe(self) -> float:
@@ -104,6 +109,7 @@ def run_campaign(  # repro-lint: program-root
     tracer: Optional[Tracer] = None,
     metrics_bucket_us: int = DEFAULT_BUCKET_US,
     batch: Optional[int] = None,
+    profiler: Optional[WallProfiler] = None,
 ) -> CampaignResult:
     """Run one probing campaign to completion in virtual time.
 
@@ -136,6 +142,13 @@ def run_campaign(  # repro-lint: program-root
     path — pinned by ``tests/prober/test_batched_equivalence.py``.
     ``batch=0`` forces the per-event reference path; ``None`` means
     :data:`DEFAULT_BATCH`.
+
+    ``profiler`` attributes *host* time to ``campaign.setup`` /
+    ``campaign.run`` phases, with per-block aggregates (``emit.craft``,
+    ``emit.inject``, ``recv.deliver``) on the columnar path.  Wall-clock
+    reporting only: it never selects a code path, so the probe bytes and
+    records stay bit-identical with profiling on or off (unlike
+    ``tracer``, it does not disable the columnar fast path).
     """
     if pace_stride < 1:
         raise ValueError("pace_stride must be >= 1: %r" % pace_stride)
@@ -145,22 +158,29 @@ def run_campaign(  # repro-lint: program-root
         batch = DEFAULT_BATCH
     if batch < 0:
         raise ValueError("negative batch: %r" % batch)
-    if reset:
-        internet.reset_dynamics()
-    registry = metrics if metrics is not None else NULL_REGISTRY
-    trace = tracer if tracer is not None else NULL_TRACER
-    engine = engine or Engine(metrics=metrics)
-    trace.bind_clock(lambda: engine.now)
-    vantage = internet.vantage(vantage_name)
-    machine = _make_prober(prober, vantage.address, targets, config, registry)
-    interval = pps_interval(pps) * pace_stride
+    prof = profiler if profiler is not None else NULL_PROFILER
+    with prof.phase("campaign.setup", prober=prober):
+        if reset:
+            internet.reset_dynamics()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        trace = tracer if tracer is not None else NULL_TRACER
+        engine = engine or Engine(metrics=metrics)
+        trace.bind_clock(lambda: engine.now)
+        vantage = internet.vantage(vantage_name)
+        machine = _make_prober(prober, vantage.address, targets, config, registry)
+        interval = pps_interval(pps) * pace_stride
 
-    sent_series = registry.series("campaign.sent", metrics_bucket_us)
-    discovery_series = registry.series("campaign.discovery", metrics_bucket_us)
+        sent_series = registry.series("campaign.sent", metrics_bucket_us)
+        discovery_series = registry.series("campaign.discovery", metrics_bucket_us)
     # Novel-interface tracking costs a set lookup per response; skip it
     # entirely when nobody is listening.
     track_discovery = registry.enabled
     discovered: Set[int] = set()
+    # Hot-path aggregate handles for the columnar loop below.  Rebound
+    # to live aggregates under the open ``campaign.run`` phase when
+    # profiling is on; the closures see the rebinding through their
+    # cells, and the shared no-op costs two calls per block otherwise.
+    prof_craft = prof_inject = prof_deliver = NULL_AGG
 
     def note_discovery(record: Optional[ProbeRecord]) -> None:
         if (
@@ -236,25 +256,30 @@ def run_campaign(  # repro-lint: program-root
             return count if count < total_walk else total_walk
 
         def deliver_batched(data: bytes, send_time: int) -> None:
-            now = engine.now
-            record = walker.receive(data, now, sent=sent_at(now, now - send_time))
-            note_discovery(record)
+            with prof_deliver:
+                now = engine.now
+                record = walker.receive(
+                    data, now, sent=sent_at(now, now - send_time)
+                )
+                note_discovery(record)
 
         def block_tick() -> None:
             start = engine.now
             count = min(batch, total_walk - walker.sent)
-            times = [start + k * interval for k in range(count)]
-            emissions = walker.next_probes(times)
-            for when, packet in emissions:
-                sent_series.record(when)
-                response = internet.probe(packet, when)
-                if response is not None:
-                    engine.schedule_at(
-                        when + response.delay_us,
-                        lambda data=response.data, sent=when: deliver_batched(
-                            data, sent
-                        ),
-                    )
+            with prof_craft:
+                times = [start + k * interval for k in range(count)]
+                emissions = walker.next_probes(times)
+            with prof_inject:
+                for when, packet in emissions:
+                    sent_series.record(when)
+                    response = internet.probe(packet, when)
+                    if response is not None:
+                        engine.schedule_at(
+                            when + response.delay_us,
+                            lambda data=response.data, sent=when: deliver_batched(
+                                data, sent
+                            ),
+                        )
             if walker.sent < total_walk:
                 engine.schedule_at(start + count * interval, block_tick)
             elif emissions and emissions[-1][0] > engine.now:
@@ -269,9 +294,16 @@ def run_campaign(  # repro-lint: program-root
     if trace.enabled:
         internet.tracer = trace
     try:
-        with trace.span("campaign", vantage=vantage_name, prober=prober):
-            engine.schedule(pace_offset_us, kickoff)
-            engine.run()
+        with prof.phase("campaign.run", prober=prober):
+            if prof.enabled and kickoff is not tick:
+                # Bound here — inside the open campaign.run phase — so
+                # the per-block aggregates nest under it.
+                prof_craft = prof.agg("emit.craft")
+                prof_inject = prof.agg("emit.inject")
+                prof_deliver = prof.agg("recv.deliver")
+            with trace.span("campaign", vantage=vantage_name, prober=prober):
+                engine.schedule(pace_offset_us, kickoff)
+                engine.run()
     finally:
         if trace.enabled:
             internet.tracer = NULL_TRACER
@@ -306,6 +338,7 @@ def run_yarrp6(
     name: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    profiler: Optional[WallProfiler] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Yarrp6 campaign with config keywords."""
@@ -313,7 +346,7 @@ def run_yarrp6(
         config = Yarrp6Config(**config_kwargs)
     return run_campaign(
         internet, vantage_name, targets, "yarrp6", pps, config, name=name,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, profiler=profiler,
     )
 
 
@@ -326,6 +359,7 @@ def run_sequential(
     name: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    profiler: Optional[WallProfiler] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: sequential (scamper-like) campaign."""
@@ -333,7 +367,7 @@ def run_sequential(
         config = SequentialConfig(**config_kwargs)
     return run_campaign(
         internet, vantage_name, targets, "sequential", pps, config, name=name,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, profiler=profiler,
     )
 
 
@@ -346,6 +380,7 @@ def run_doubletree(
     name: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    profiler: Optional[WallProfiler] = None,
     **config_kwargs: Any,
 ) -> CampaignResult:
     """Convenience wrapper: Doubletree campaign."""
@@ -353,5 +388,5 @@ def run_doubletree(
         config = DoubletreeConfig(**config_kwargs)
     return run_campaign(
         internet, vantage_name, targets, "doubletree", pps, config, name=name,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, profiler=profiler,
     )

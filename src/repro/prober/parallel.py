@@ -70,6 +70,7 @@ from ..obs.metrics import (
     MetricsRegistry,
     merge_dumps,
 )
+from ..obs.profiler import NULL_PROFILER, WallProfiler, pickled_bytes
 from .campaign import CampaignResult, run_campaign
 from .permutation import ProbeSchedule
 from .records import ProbeRecord
@@ -98,6 +99,11 @@ class CampaignSpec:
     #: the shard dumps combined by :func:`repro.obs.metrics.merge_dumps`.
     metrics: bool = False
     metrics_bucket_us: int = DEFAULT_BUCKET_US
+    #: Run every shard with its own wall-clock profiler; the worker's
+    #: exported phase data rides home on ``CampaignResult.wall_profile``.
+    #: Reporting only — the probe bytes and records are identical either
+    #: way (set by :func:`run_parallel` when the parent profiles).
+    profile: bool = False
 
     def prober_config(self) -> Yarrp6Config:
         return self.config or Yarrp6Config()
@@ -144,7 +150,9 @@ def validate_spec(spec: CampaignSpec, shards: int) -> None:
 _SHARED_WORLD: Optional[Tuple[InternetConfig, Internet]] = None
 
 
-def _world_for(config: InternetConfig) -> Internet:
+def _world_for(
+    config: InternetConfig, profiler: Optional[WallProfiler] = None
+) -> Internet:
     """The process-wide world for ``config``, rewound to run-fresh state.
 
     Reuses the cached world when its config matches — the fork-inherited
@@ -153,12 +161,18 @@ def _world_for(config: InternetConfig) -> Internet:
     start method, different campaign) rebuilds from the config; builds
     are pure functions of the config, so either route yields an
     identical world.
+
+    ``profiler`` splits the host cost into ``world.build`` (cache miss
+    only — a fork-inherited or cached world costs nothing) and
+    ``world.rewind`` (every call) phases.
     """
     global _SHARED_WORLD
+    prof = profiler if profiler is not None else NULL_PROFILER
     if _SHARED_WORLD is None or _SHARED_WORLD[0] != config:
-        _SHARED_WORLD = (config, Internet.from_config(config))
+        _SHARED_WORLD = (config, Internet.from_config(config, profiler=prof))
     world = _SHARED_WORLD[1]
-    world.fresh_run_state()
+    with prof.phase("world.rewind"):
+        world.fresh_run_state()
     return world
 
 
@@ -167,35 +181,57 @@ def run_shard(
     shard: int,
     shards: int,
     internet: Optional[Internet] = None,
+    profiler: Optional[WallProfiler] = None,
 ) -> CampaignResult:  # repro-lint: program-root
     """Run one permutation shard of ``spec`` to completion in-process.
 
     ``internet`` lets a caller supply a prebuilt world (it must already be
     in run-fresh state); by default the process-shared world for the
     spec's config is used, rewound via :meth:`Internet.fresh_run_state`.
+
+    Profiling: an explicit ``profiler`` records phases in place; with
+    ``spec.profile`` set and no profiler given (the worker-process case),
+    the shard builds its own and ships its export home on the result's
+    ``wall_profile`` field.
     """
-    config = replace(spec.prober_config(), shard=shard, shards=shards)
-    if internet is None:
-        internet = _world_for(spec.internet)
-    base = pps_interval(spec.pps)
-    return run_campaign(
-        internet,
-        spec.vantage,
-        list(spec.targets),
-        "yarrp6",
-        spec.pps,
-        config,
-        name="%s[%d/%d]" % (spec.default_name(), shard, shards),
-        pace_offset_us=shard * base,
-        pace_stride=shards,
-        metrics=MetricsRegistry() if spec.metrics else None,
-        metrics_bucket_us=spec.metrics_bucket_us,
-    )
+    own_profiler = profiler is None and spec.profile
+    prof: WallProfiler
+    if profiler is not None:
+        prof = profiler
+    elif spec.profile:
+        prof = WallProfiler()
+    else:
+        prof = NULL_PROFILER
+    with prof.phase("shard.run", shard=shard, shards=shards):
+        config = replace(spec.prober_config(), shard=shard, shards=shards)
+        if internet is None:
+            internet = _world_for(spec.internet, profiler=prof)
+        base = pps_interval(spec.pps)
+        result = run_campaign(
+            internet,
+            spec.vantage,
+            list(spec.targets),
+            "yarrp6",
+            spec.pps,
+            config,
+            name="%s[%d/%d]" % (spec.default_name(), shard, shards),
+            pace_offset_us=shard * base,
+            pace_stride=shards,
+            metrics=MetricsRegistry() if spec.metrics else None,
+            metrics_bucket_us=spec.metrics_bucket_us,
+            profiler=prof,
+        )
+    if own_profiler:
+        prof.validate()
+        result = replace(result, wall_profile=prof.export())
+    return result
 
 
-def run_single(spec: CampaignSpec) -> CampaignResult:  # repro-lint: program-root
+def run_single(
+    spec: CampaignSpec, profiler: Optional[WallProfiler] = None
+) -> CampaignResult:  # repro-lint: program-root
     """The single-process reference campaign for ``spec``."""
-    internet = _world_for(spec.internet)
+    internet = _world_for(spec.internet, profiler=profiler)
     return run_campaign(
         internet,
         spec.vantage,
@@ -206,6 +242,7 @@ def run_single(spec: CampaignSpec) -> CampaignResult:  # repro-lint: program-roo
         name=spec.name,
         metrics=MetricsRegistry() if spec.metrics else None,
         metrics_bucket_us=spec.metrics_bucket_us,
+        profiler=profiler,
     )
 
 
@@ -245,6 +282,7 @@ def run_parallel(
     shards: int,
     processes: Optional[int] = None,
     start_method: Optional[str] = None,
+    profiler: Optional[WallProfiler] = None,
 ) -> CampaignResult:
     """Run ``spec`` as ``shards`` cooperating Yarrp6 instances and merge.
 
@@ -252,39 +290,85 @@ def run_parallel(
     by the CPU count); with one process the shards run serially in this
     process, which produces the identical result — the merge is a pure
     function of the shard results.
-    """
-    validate_spec(spec, shards)
-    if processes is None:
-        processes = min(shards, os.cpu_count() or 1)
-    processes = max(1, min(processes, shards))
 
-    payloads = [(spec, shard, shards) for shard in range(shards)]
-    results: List[Optional[CampaignResult]] = [None] * shards
-    if processes == 1:
-        # Serial shards share the process's world via _world_for.
-        outcomes = map(_shard_worker, payloads)
-        for outcome in outcomes:
-            _place(outcome, results)
-    else:
-        if _resolve_start_method(start_method) == "fork":
-            # Build (or rewind) the shared world BEFORE the pool forks:
-            # every worker inherits the compiled topology copy-on-write
-            # and skips its own build entirely.  Spawn workers start with
-            # an empty module and rebuild from the spec's config instead.
-            _world_for(spec.internet)
-        pool = _make_pool(processes, start_method)
-        try:
-            for outcome in pool.imap_unordered(_shard_worker, payloads):
+    With a ``profiler`` the parent records the pipeline phases (world
+    build/rewind, pool startup, per-shard IPC wait and result pickle
+    size, merge), each worker runs its own :class:`WallProfiler` (the
+    spec is re-sent with ``profile=True``), and the worker exports plus
+    per-shard pickled byte counts are folded into the profiler and
+    attached to the merged result's ``wall_profile``.  Profiling is
+    observe-only: probe bytes, records and metric dumps are identical
+    with and without it.
+    """
+    prof = profiler if profiler is not None else NULL_PROFILER
+    with prof.phase("parallel", shards=shards):
+        with prof.phase("validate"):
+            validate_spec(spec, shards)
+        if processes is None:
+            processes = min(shards, os.cpu_count() or 1)
+        processes = max(1, min(processes, shards))
+
+        results: List[Optional[CampaignResult]] = [None] * shards
+        bytes_by_shard: Dict[int, int] = {}
+        if processes == 1:
+            # Serial shards share the process's world via _world_for;
+            # run_shard profiles each one in place (no IPC, no pickling),
+            # so the parent passes its own profiler straight through.
+            for shard in range(shards):
+                outcome: ShardOutcome
+                try:
+                    outcome = ("ok", shard, run_shard(spec, shard, shards, profiler=prof))
+                except BaseException:
+                    outcome = ("error", shard, traceback.format_exc())
                 _place(outcome, results)
-        finally:
-            pool.terminate()
-            pool.join()
-    return merge_results(
-        [result for result in results if result is not None],
-        spec.pps,
-        name=spec.default_name(),
-        targets=len(spec.targets),
-    )
+        else:
+            worker_spec = replace(spec, profile=True) if prof.enabled else spec
+            payloads = [(worker_spec, shard, shards) for shard in range(shards)]
+            if _resolve_start_method(start_method) == "fork":
+                # Build (or rewind) the shared world BEFORE the pool forks:
+                # every worker inherits the compiled topology copy-on-write
+                # and skips its own build entirely.  Spawn workers start with
+                # an empty module and rebuild from the spec's config instead.
+                _world_for(spec.internet, profiler=prof)
+            with prof.phase("pool.start", processes=processes):
+                pool = _make_pool(processes, start_method)
+            try:
+                with prof.phase("shards"):
+                    iterator = pool.imap_unordered(_shard_worker, payloads)
+                    for _ in range(shards):
+                        with prof.phase("ipc.wait"):
+                            outcome = next(iterator)
+                        if prof.enabled:
+                            # Re-pickle the outcome through a counting sink:
+                            # the same bytes the pool just moved over the
+                            # pipe, attributed per shard.
+                            with prof.phase("pickle", shard=outcome[1]):
+                                count = pickled_bytes(outcome)
+                                prof.add_bytes(count)
+                                bytes_by_shard[outcome[1]] = count
+                        _place(outcome, results)
+            finally:
+                with prof.phase("pool.stop"):
+                    pool.terminate()
+                    pool.join()
+        with prof.phase("merge"):
+            merged = merge_results(
+                [result for result in results if result is not None],
+                spec.pps,
+                name=spec.default_name(),
+                targets=len(spec.targets),
+            )
+    if prof.enabled:
+        for shard, result in enumerate(results):
+            if result is not None and result.wall_profile is not None:
+                prof.add_worker(
+                    shard, result.wall_profile, bytes_by_shard.get(shard, 0)
+                )
+        if prof.complete():
+            # Only when the "parallel" phase was the outermost one: a
+            # caller still inside its own phase snapshots later itself.
+            merged = replace(merged, wall_profile=prof.to_profile_dict())
+    return merged
 
 
 def _place(outcome: ShardOutcome, results: List[Optional[CampaignResult]]) -> None:

@@ -292,6 +292,129 @@ class TestPipeline:
         assert "--world" in text
 
 
+class TestProfile:
+    def _pipeline(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        return targets_path
+
+    def test_probe_profile_writes_trace_report_and_manifest(
+        self, world_file, tmp_path
+    ):
+        from repro.obs import read_manifest
+
+        targets_path = self._pipeline(world_file, tmp_path)
+        results = str(tmp_path / "prof.yrp6")
+        trace_path = str(tmp_path / "trace.json")
+        manifest_path = str(tmp_path / "prof.manifest.json")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", results,
+                "--metrics", manifest_path,
+                "--profile", trace_path,
+            ]
+        )
+        assert code == 0, text
+        assert "Perfetto trace -> %s" % trace_path in text
+        assert "self%" in text  # the phase-tree report
+        with open(trace_path) as source:
+            document = json.load(source)
+        names = {e.get("name") for e in document["traceEvents"] if e["ph"] == "X"}
+        assert "probe" in names
+        assert "campaign.run" in names
+        manifest = read_manifest(manifest_path)
+        profile = manifest["wallclock"]["profile"]
+        assert profile["coverage"] >= 0.95
+        assert "probe" in {row["path"] for row in profile["phases"]}
+        # Profiling is observe-only: the records match an unprofiled run.
+        plain = str(tmp_path / "plain.yrp6")
+        run(["probe", "--world", world_file, "--targets", targets_path, "--out", plain])
+        assert open(results, "rb").read() == open(plain, "rb").read()
+
+    def test_probe_profile_with_workers_covers_the_pool(
+        self, world_file, tmp_path
+    ):
+        from repro.obs import read_manifest
+
+        targets_path = self._pipeline(world_file, tmp_path)
+        trace_path = str(tmp_path / "par-trace.json")
+        manifest_path = str(tmp_path / "par.manifest.json")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--workers", "2",
+                "--out", str(tmp_path / "par.yrp6"),
+                "--metrics", manifest_path,
+                "--profile", trace_path,
+            ]
+        )
+        assert code == 0, text
+        profile = read_manifest(manifest_path)["wallclock"]["profile"]
+        paths = {row["path"] for row in profile["phases"]}
+        assert "probe/parallel" in paths
+        assert "probe/parallel/merge" in paths
+        assert profile["coverage"] >= 0.95
+
+    def test_probe_profile_shardsan_conflict(self, world_file, tmp_path):
+        targets_path = self._pipeline(world_file, tmp_path)
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", str(tmp_path / "r.yrp6"),
+                "--profile", str(tmp_path / "trace.json"),
+                "--shardsan",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_stats_top_renders_ttl_and_phase_tables(self, world_file, tmp_path):
+        targets_path = self._pipeline(world_file, tmp_path)
+        manifest_path = str(tmp_path / "m.json")
+        run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", str(tmp_path / "r.yrp6"),
+                "--metrics", manifest_path,
+                "--profile", str(tmp_path / "trace.json"),
+            ]
+        )
+        code, text = run(["stats", manifest_path, "--top", "3"])
+        assert code == 0
+        assert "top 3 TTL yield" in text
+        assert "top 3 profiler phases by self time" in text
+
+    def test_stats_top_without_profile_skips_phase_table(
+        self, world_file, tmp_path
+    ):
+        targets_path = self._pipeline(world_file, tmp_path)
+        manifest_path = str(tmp_path / "m.json")
+        run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", str(tmp_path / "r.yrp6"),
+                "--metrics", manifest_path,
+            ]
+        )
+        code, text = run(["stats", manifest_path, "--top", "2"])
+        assert code == 0
+        assert "top 2 TTL yield" in text
+        assert "profiler phases" not in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,14 @@
+"""OBS101 fixture: the sanctioned profiler observe path — phases and
+aggregates record, byte counts accumulate, and the export ships OUT of
+the prober without steering it."""
+
+from repro.obs.profiler import WallProfiler
+
+
+def run(profiler: WallProfiler):
+    with profiler.phase("campaign.run"):
+        craft = profiler.agg("emit.craft")  # fine: handle factory
+        with craft:
+            pass
+        profiler.add_bytes(64)  # fine: mutating telemetry
+    return profiler.export()  # fine: readbacks may flow out, not back in

@@ -1,0 +1,18 @@
+"""OBS101 fixture: wall-clock profiler readbacks steering the prober."""
+
+from repro.obs.profiler import WallProfiler
+
+
+def paced(profiler: WallProfiler, budget):
+    with profiler.phase("emit"):  # fine: phases are the observe path
+        pass
+    if profiler.total_seconds() > 1.0:  # flagged: branch condition
+        return 0
+    remaining = budget - profiler.coverage()  # flagged: operand
+    return remaining
+
+
+class Prober:
+    def __init__(self, profiler: WallProfiler):
+        self._prof = profiler.phase("setup")  # fine: handle factory
+        self.last = profiler.to_profile_dict()  # flagged: object state

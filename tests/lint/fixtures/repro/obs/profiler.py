@@ -1,0 +1,23 @@
+"""DET001 fixture: the wall-clock profiler is an allowlisted boundary.
+
+The path under ``fixtures/repro/obs/`` derives the module name
+``repro.obs.profiler``, which DET001 exempts from wall-clock reads the
+same way it exempts ``repro.obs.wallclock`` — the profiler times host
+phases, so it must read host time.  The exemption covers exactly the
+time subset: entropy sources stay banned even here.
+"""
+
+import time
+import uuid
+
+
+def now():
+    return time.perf_counter()  # exempt: profiler phase timestamps
+
+
+def stamp():
+    return time.monotonic_ns()  # exempt: still a wall-clock read
+
+
+def trace_id():
+    return uuid.uuid4()  # flagged: entropy is never exempt

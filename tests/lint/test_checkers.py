@@ -78,6 +78,23 @@ class TestDET001:
 
         assert lint_file(wallclock.__file__) == []
 
+    def test_profiler_boundary_time_reads_exempt_entropy_not(self):
+        violations = lint_file(fixture_path("repro", "obs", "profiler.py"))
+        # Both time reads pass; the uuid.uuid4 on line 23 still fires.
+        assert lines_for(violations, "DET001") == [23]
+        assert "uuid.uuid4" in violations[0].message
+
+    def test_profiler_exemption_does_not_leak_to_other_obs_modules(self):
+        source = "import time\nx = time.perf_counter()\n"
+        assert lint_source(source, module="repro.obs.profiler") == []
+        flagged = lint_source(source, module="repro.obs.metrics")
+        assert lines_for(flagged, "DET001") == [2]
+
+    def test_real_profiler_module_is_clean(self):
+        from repro.obs import profiler
+
+        assert lint_file(profiler.__file__) == []
+
 
 class TestDET002:
     def test_fixture_lines(self):

@@ -91,10 +91,24 @@ def test_scope_all_trips_any_caller():
 
 
 def test_wallclock_module_is_exempt():
-    # repro.obs.wallclock is the single allowlisted time boundary.
+    # repro.obs.wallclock is an allowlisted time boundary.
     with DetSan():
         watch = Stopwatch()
         assert watch.elapsed_seconds() >= 0.0
+
+
+def test_profiler_module_is_exempt():
+    # repro.obs.profiler reads host time for phase attribution; its
+    # perf_counter reads pass through like the Stopwatch boundary does.
+    from repro.obs.profiler import WallProfiler
+
+    with DetSan():
+        prof = WallProfiler()
+        with prof.phase("root"):
+            with prof.agg("work"):
+                pass
+        prof.validate()
+        assert prof.total_seconds() >= 0.0
 
 
 # -- record mode ------------------------------------------------------------

@@ -148,6 +148,27 @@ def test_obs101_observe_path_is_clean():
     assert not any("clean.py" in v.path for v in violations)
 
 
+def test_obs101_flags_profiler_readbacks_steering_the_prober():
+    violations, _ = run_fixture("obs101_profiler", select=["OBS101"])
+    assert all(v.rule == "OBS101" for v in violations)
+    assert located(violations) == [
+        ("steer.py", 9),
+        ("steer.py", 11),
+        ("steer.py", 18),
+    ]
+    by_line = {v.line: v.message for v in violations}
+    assert "total_seconds()" in by_line[9]
+    assert "coverage()" in by_line[11]
+    assert "to_profile_dict()" in by_line[18]
+
+
+def test_obs101_profiler_observe_path_is_clean():
+    # Phases, aggregates, byte accounting and the outbound export are
+    # all sanctioned; only readbacks flowing back in are violations.
+    violations, _ = run_fixture("obs101_profiler", select=["OBS101"])
+    assert not any("observe.py" in v.path for v in violations)
+
+
 # -- MUT101: shared-world shard safety --------------------------------------
 
 

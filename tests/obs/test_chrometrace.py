@@ -1,0 +1,80 @@
+"""Chrome-trace (Perfetto) export of wall-clock profiles."""
+
+import json
+
+from repro.obs.chrometrace import chrome_trace, trace_events, write_chrome_trace
+from repro.obs.profiler import WallProfiler
+
+
+def profiled_run():
+    prof = WallProfiler()
+    with prof.phase("parallel", shards=2):
+        with prof.phase("pickle", shard=0):
+            prof.add_bytes(500)
+    worker = WallProfiler()
+    with worker.phase("shard.run", shard=0):
+        pass
+    prof.add_worker(0, worker.export(), 500)
+    return prof
+
+
+class TestTraceEvents:
+    def test_complete_events_cover_every_span(self):
+        prof = profiled_run()
+        events = trace_events(prof)
+        complete = [e for e in events if e["ph"] == "X"]
+        # 2 parent spans + 1 worker span.
+        assert len(complete) == 3
+        for event in complete:
+            assert event["cat"] == "wallclock"
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_timestamps_are_rebased_to_the_earliest_span(self):
+        events = trace_events(profiled_run())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0
+
+    def test_parent_and_workers_get_distinct_pids(self):
+        events = trace_events(profiled_run())
+        by_pid = {}
+        for event in events:
+            if event["ph"] == "X":
+                by_pid.setdefault(event["pid"], []).append(event["name"])
+        assert sorted(by_pid) == [0, 1]  # parent pid 0, shard 0 -> pid 1
+        assert "parallel" in by_pid[0]
+        assert "shard.run" in by_pid[1]
+
+    def test_process_name_metadata_present(self):
+        events = trace_events(profiled_run())
+        meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert meta[0] == "parent"
+        assert "shard 0" in meta[1]
+
+    def test_args_carry_attrs_and_bytes(self):
+        events = trace_events(profiled_run())
+        pickle_event = next(e for e in events if e.get("name") == "pickle")
+        assert pickle_event["args"]["shard"] == 0
+        assert pickle_event["args"]["bytes"] == 500
+        root = next(e for e in events if e.get("name") == "parallel")
+        assert root["args"]["shards"] == 2
+
+
+class TestDocument:
+    def test_chrome_trace_shape(self):
+        document = chrome_trace(profiled_run())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        written = write_chrome_trace(path, profiled_run())
+        assert written == path
+        with open(path) as source:
+            document = json.load(source)
+        assert document["traceEvents"]
+        assert open(path).read().endswith("\n")
+
+    def test_empty_profile_exports_empty_event_list(self):
+        document = chrome_trace(WallProfiler())
+        assert document["traceEvents"] == []

@@ -1,0 +1,154 @@
+"""Merge edge cases: empty registries, disjoint bucket/key sets, and
+shards that recorded no series points.
+
+``merge_dumps`` is on the byte-identity path — a merged campaign's dump
+must equal the single-process dump even when some shards saw nothing at
+all (a shard whose permutation slice holds no responding targets is
+legal).  Property tests pin the algebra: merging is insensitive to shard
+order, the empty dump is its identity, and disjoint inputs concatenate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    SCOPE_RUN,
+    MetricsRegistry,
+    dump_to_json,
+    merge_dumps,
+)
+
+
+def empty_dump():
+    return MetricsRegistry().to_dict()
+
+
+class TestEmptyRegistries:
+    def test_merge_of_empty_dumps_is_empty(self):
+        assert merge_dumps([empty_dump(), empty_dump()]) == {}
+
+    def test_empty_dump_is_the_merge_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("sent").inc(5)
+        registry.series("rate", bucket_us=1000).record(0, 2)
+        dump = registry.to_dict()
+        with_empty = merge_dumps([dump, empty_dump(), empty_dump()])
+        without = merge_dumps([dump])
+        assert dump_to_json(with_empty) == dump_to_json(without)
+
+    def test_run_scoped_only_registry_merges_to_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.events", scope=SCOPE_RUN).inc(9)
+        registry.gauge("depth").set(3)  # gauges are run-scoped snapshots
+        assert merge_dumps([registry.to_dict(), empty_dump()]) == {}
+
+
+class TestDisjointShards:
+    def test_disjoint_metric_names_union(self):
+        left = MetricsRegistry()
+        left.counter("only.left").inc(1)
+        right = MetricsRegistry()
+        right.counter("only.right").inc(2)
+        merged = merge_dumps([left.to_dict(), right.to_dict()])
+        assert set(merged) == {"only.left", "only.right"}
+        assert merged["only.left"]["value"] == 1
+        assert merged["only.right"]["value"] == 2
+
+    def test_disjoint_series_buckets_concatenate_sorted(self):
+        early = MetricsRegistry()
+        early.series("rate", bucket_us=1000).record(500, 1)
+        late = MetricsRegistry()
+        late.series("rate", bucket_us=1000).record(5500, 3)
+        merged = merge_dumps([late.to_dict(), early.to_dict()])
+        assert merged["rate"]["points"] == [[0, 1], [5000, 3]]
+
+    def test_disjoint_counter_map_keys_union_sorted(self):
+        low = MetricsRegistry()
+        low.counter_map("ttl").inc(2, 7)
+        high = MetricsRegistry()
+        high.counter_map("ttl").inc(9, 1)
+        merged = merge_dumps([high.to_dict(), low.to_dict()])
+        assert merged["ttl"]["values"] == [[2, 7], [9, 1]]
+
+
+class TestShardWithNoSeriesPoints:
+    def test_pointless_series_entry_merges_cleanly(self):
+        quiet = MetricsRegistry()
+        quiet.series("rate", bucket_us=1000)  # registered, never recorded
+        busy = MetricsRegistry()
+        busy.series("rate", bucket_us=1000).record(100, 4)
+        merged = merge_dumps([quiet.to_dict(), busy.to_dict()])
+        assert merged["rate"]["points"] == [[0, 4]]
+
+    def test_all_shards_pointless_yields_empty_points(self):
+        dumps = []
+        for _ in range(3):
+            registry = MetricsRegistry()
+            registry.series("rate", bucket_us=1000)
+            dumps.append(registry.to_dict())
+        merged = merge_dumps(dumps)
+        assert merged["rate"]["points"] == []
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50_000),  # virtual microseconds
+        st.integers(min_value=1, max_value=10),
+    ),
+    max_size=12,
+)
+
+
+def dump_from(sent, ttls, points):
+    registry = MetricsRegistry()
+    if sent:
+        registry.counter("sent").inc(sent)
+    ttl_map = registry.counter_map("ttl")
+    for key in ttls:
+        ttl_map.inc(key)
+    series = registry.series("rate", bucket_us=1000)
+    for when, amount in points:
+        series.record(when, amount)
+    return registry.to_dict()
+
+
+shard_strategy = st.tuples(
+    st.integers(min_value=0, max_value=100),
+    st.lists(st.integers(min_value=1, max_value=16), max_size=8),
+    points_strategy,
+)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(shard_strategy, min_size=1, max_size=4))
+    def test_merge_is_shard_order_insensitive(self, shards):
+        dumps = [dump_from(*shard) for shard in shards]
+        forward = merge_dumps(dumps)
+        backward = merge_dumps(list(reversed(dumps)))
+        assert dump_to_json(forward) == dump_to_json(backward)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(shard_strategy, min_size=1, max_size=4))
+    def test_merge_totals_are_the_sums(self, shards):
+        dumps = [dump_from(*shard) for shard in shards]
+        merged = merge_dumps(dumps)
+        expected_sent = sum(sent for sent, _, _ in shards)
+        if expected_sent:
+            assert merged["sent"]["value"] == expected_sent
+        else:
+            assert "sent" not in merged or merged["sent"]["value"] == 0
+        expected_points = sum(
+            amount for _, _, points in shards for _, amount in points
+        )
+        assert sum(v for _, v in merged["rate"]["points"]) == expected_points
+        expected_ttls = sum(len(ttls) for _, ttls, _ in shards)
+        assert sum(v for _, v in merged["ttl"]["values"]) == expected_ttls
+
+    @settings(max_examples=50, deadline=None)
+    @given(shard_strategy, shard_strategy)
+    def test_merging_with_empty_changes_nothing(self, first, second):
+        dumps = [dump_from(*first), dump_from(*second)]
+        with_empty = merge_dumps(dumps + [empty_dump()])
+        without = merge_dumps(dumps)
+        assert dump_to_json(with_empty) == dump_to_json(without)

@@ -146,7 +146,7 @@ class TestShardByteIdentity:
         builds = []
         original = Internet.from_config.__func__
 
-        def counting(cls, config=None):
+        def counting(cls, config=None, profiler=None):
             builds.append(config)
             return original(cls, config)
 
