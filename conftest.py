@@ -1,9 +1,11 @@
 """Repository-root pytest configuration.
 
 Registers the runtime-sanitizer plugins: ``pytest --detsan`` runs every
-test inside the determinism sanitizer (``repro.lint.detsan``) and
+test inside the determinism sanitizer (``repro.lint.detsan``),
 ``pytest --shardsan`` inside the shared-world write sanitizer
-(``repro.lint.shardsan``).  The plugins live in the package so they are
+(``repro.lint.shardsan``), and ``pytest --faultsan`` enables the
+fault-injection chaos suite (``repro.lint.faultsan``; the marked tests
+skip without the flag).  The plugins live in the package so they are
 importable wherever ``repro`` is; registering them here (the rootdir
 conftest) keeps ``pytest`` invocations from any subdirectory
 consistent.
@@ -12,4 +14,5 @@ consistent.
 pytest_plugins = [
     "repro.lint.detsan_pytest",
     "repro.lint.shardsan_pytest",
+    "repro.lint.faultsan_pytest",
 ]

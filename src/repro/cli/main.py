@@ -50,6 +50,7 @@ from ..obs import (
 )
 from ..prober import (
     CampaignSpec,
+    SuperviseConfig,
     Yarrp6Config,
     run_doubletree,
     run_parallel,
@@ -161,6 +162,11 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
         out.write("no targets in %s\n" % args.targets)
         return 2
     workers = getattr(args, "workers", 1)
+    supervise = SuperviseConfig(
+        shard_timeout_s=getattr(args, "shard_timeout", None),
+        max_retries=getattr(args, "max_retries", 0),
+        degrade=getattr(args, "degrade", "fail"),
+    )
     metrics_path = getattr(args, "metrics", None)
     detsan = getattr(args, "detsan", False)
     shardsan = getattr(args, "shardsan", False)
@@ -204,7 +210,9 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
                     config=Yarrp6Config(max_ttl=args.max_ttl, fill=args.fill),
                     metrics=metrics_path is not None,
                 )
-                return run_parallel(spec, shards=workers, profiler=prof)
+                return run_parallel(
+                    spec, shards=workers, profiler=prof, supervise=supervise
+                )
             internet = Internet.from_config(world_config, profiler=prof)
             runner = _PROBERS[args.prober]
             kwargs = {}
@@ -314,6 +322,23 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
                 profile_path,
             )
         )
+    failures = getattr(result, "failures", None)
+    if failures is not None:
+        # Reporting only (the CLI is outside the OBS101 scope): surface
+        # anything the supervisor had to do to finish the campaign.
+        counts = {
+            name: int(entry["value"])
+            for name, entry in failures.get("metrics", {}).items()
+        }
+        if any(counts.values()):
+            out.write(
+                "supervise: %s\n"
+                % ", ".join(
+                    "%s=%d" % (name, value)
+                    for name, value in sorted(counts.items())
+                    if value
+                )
+            )
     if metrics_path:
         manifest = build_manifest(
             result,
@@ -324,6 +349,7 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             workers=workers,
             wall_seconds=stopwatch.elapsed_seconds() if stopwatch else None,
             wall_profile=wall_profile,
+            failures=failures,
         )
         write_manifest(metrics_path, manifest)
         out.write("manifest -> %s\n" % metrics_path)
@@ -341,6 +367,17 @@ def cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     run_rows.append(["seed", manifest.get("seed")])
     if "wallclock" in manifest:
         run_rows.append(["wall seconds", "%.3f" % manifest["wallclock"]["seconds"]])
+    if "failures" in manifest:
+        counts = {
+            name: int(entry["value"])
+            for name, entry in manifest["failures"].get("metrics", {}).items()
+        }
+        summary = ", ".join(
+            "%s=%d" % (name, value)
+            for name, value in sorted(counts.items())
+            if value
+        )
+        run_rows.append(["supervision", summary or "clean (no faults)"])
     out.write(render_table(["field", "value"], run_rows, title="run") + "\n")
 
     metrics = manifest.get("metrics") or {}
@@ -505,6 +542,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="split the campaign into N permutation shards run in parallel "
         "worker processes (yarrp6 only)",
+    )
+    probe.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock deadline: a worker attempt that outlives "
+        "it is killed and counted as a timeout fault (--workers > 1; "
+        "default: no deadline)",
+    )
+    probe.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run a crashed, killed, hung or corrupt shard up to N times "
+        "(deterministic: a retried shard is byte-identical to a first "
+        "try; default 0)",
+    )
+    probe.add_argument(
+        "--degrade",
+        choices=("fail", "serial"),
+        default="fail",
+        help="what to do when a shard exhausts its retries: 'fail' raises "
+        "one ShardFailure naming every failed shard; 'serial' re-runs "
+        "the exhausted shards in the parent process (default: fail)",
     )
     probe.add_argument(
         "--metrics",

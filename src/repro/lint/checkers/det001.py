@@ -84,10 +84,13 @@ WALLCLOCK_CALLS = frozenset(
 )
 
 #: The allowlisted wall-clock boundaries (see each module's docstring
-#: for the rules callers must follow): the Stopwatch boundary and the
-#: host-time profiler.  Entropy sources stay banned everywhere.
+#: for the rules callers must follow): the Stopwatch boundary, the
+#: host-time profiler, and the supervised runner's deadline module
+#: (supervision decisions — is this worker late/dead — are host facts
+#: and never reach probe bytes).  Entropy sources stay banned
+#: everywhere.
 WALLCLOCK_EXEMPT_MODULES = frozenset(
-    {"repro.obs.wallclock", "repro.obs.profiler"}
+    {"repro.obs.wallclock", "repro.obs.profiler", "repro.prober.deadline"}
 )
 
 #: Modules whose entire surface is banned.

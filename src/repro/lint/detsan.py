@@ -45,9 +45,11 @@ from typing import Any, Callable, List, Tuple
 
 #: The modules whose *time* reads pass through even in scope="repro"
 #: (kept in sync with repro.lint.checkers.det001.WALLCLOCK_EXEMPT_MODULES):
-#: the Stopwatch boundary and the wall-clock profiler.  Entropy reads
-#: trip regardless of caller.
-WALLCLOCK_MODULES = frozenset({"repro.obs.wallclock", "repro.obs.profiler"})
+#: the Stopwatch boundary, the wall-clock profiler, and the supervised
+#: runner's deadline module.  Entropy reads trip regardless of caller.
+WALLCLOCK_MODULES = frozenset(
+    {"repro.obs.wallclock", "repro.obs.profiler", "repro.prober.deadline"}
+)
 
 #: Caller-module prefixes that always pass through: DetSan's own
 #: machinery must be able to run while patched.

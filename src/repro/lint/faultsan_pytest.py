@@ -1,0 +1,48 @@
+"""Pytest plugin wiring FaultSan into the test suite.
+
+Registered from the repository-root ``conftest.py``.  Opt in with::
+
+    pytest --faultsan
+
+Tests marked ``@pytest.mark.faultsan`` are the chaos grid: they drive
+real worker pools through injected crash / hang / SIGKILL /
+corrupt-pickle plans (see :mod:`repro.lint.faultsan`) and assert the
+supervised runner's recovery paths stay byte-identical to unfaulted
+runs.  They spawn pools, kill processes, and sleep past deadlines, so
+they are skipped by default and run in CI's dedicated ``chaos`` job
+under ``timeout``; the fast always-on recovery tests live unmarked in
+``tests/prober/test_supervise.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--faultsan",
+        action="store_true",
+        default=False,
+        help="run the FaultSan chaos tests (fault-injected worker pools; "
+        "slow, process-killing — CI runs these in the chaos job)",
+    )
+
+
+def pytest_configure(config: "pytest.Config") -> None:
+    config.addinivalue_line(
+        "markers",
+        "faultsan: chaos test driving fault-injected worker pools; "
+        "runs only with --faultsan",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: "pytest.Config", items: "list[pytest.Item]"
+) -> None:
+    if config.getoption("--faultsan"):
+        return
+    skip = pytest.mark.skip(reason="needs --faultsan (chaos suite)")
+    for item in items:
+        if item.get_closest_marker("faultsan") is not None:
+            item.add_marker(skip)

@@ -61,6 +61,7 @@ BUILD_CUT_NAMES = frozenset(
 WORKER_ROOTS = (
     "repro.prober.parallel.run_shard",
     "repro.prober.parallel.run_single",
+    "repro.prober.supervise._supervised_worker",
 )
 
 #: The rewind entry point (MUT102 root).

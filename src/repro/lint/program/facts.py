@@ -63,7 +63,7 @@ from . import mutation
 
 #: Bump whenever the fact schema or extraction logic changes; stale
 #: cache entries are discarded on version mismatch.
-FACTS_VERSION = 3
+FACTS_VERSION = 4
 
 #: ``# repro-lint: program-root`` on a ``def`` line marks the function
 #: as a DET101 reachability root (an entry point the engine or the
@@ -93,6 +93,7 @@ OBS_TYPES = frozenset(
         "Stopwatch",
         "WallProfiler",
         "NullWallProfiler",
+        "FailureReport",
     }
 )
 
@@ -135,6 +136,8 @@ OBS_READBACK_METHODS = frozenset(
         "report",
         "to_profile_dict",
         "export",
+        "counts",
+        "faults",
     }
 )
 

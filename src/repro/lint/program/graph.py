@@ -41,6 +41,7 @@ DEFAULT_ROOTS = frozenset(
         "repro.prober.parallel.run_shard",
         "repro.prober.parallel.run_single",
         "repro.prober.parallel._shard_worker",
+        "repro.prober.supervise._supervised_worker",
     }
 )
 

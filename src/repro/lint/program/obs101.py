@@ -32,7 +32,7 @@ DESCRIPTION = (
 
 #: Bumped when this checker's logic changes; folded into the facts-cache
 #: key so stale cached analysis never survives a rule edit.
-VERSION = 1
+VERSION = 2
 
 
 def in_scope(module: str) -> bool:

@@ -38,6 +38,7 @@ from .metrics import (
     series_points,
 )
 from .chrometrace import chrome_trace, trace_events, write_chrome_trace
+from .failures import FAILURES_FORMAT, FailureReport
 from .profiler import (
     NULL_PROFILER,
     NullWallProfiler,
@@ -53,6 +54,8 @@ __all__ = [
     "Counter",
     "CounterMap",
     "DEFAULT_BUCKET_US",
+    "FAILURES_FORMAT",
+    "FailureReport",
     "Gauge",
     "Histogram",
     "MANIFEST_FORMAT",

@@ -7,8 +7,8 @@ dump, and — in its own clearly quarantined section — the wall-clock
 duration measured at the top-level boundary via
 :mod:`repro.obs.wallclock`.
 
-Everything except the ``wallclock`` section is a pure function of the
-spec: :func:`deterministic_view` strips that section, and
+Everything except the ``wallclock`` and ``failures`` sections is a pure
+function of the spec: :func:`deterministic_view` strips those, and
 :func:`manifest_dumps` of the stripped view is byte-identical across
 reruns and across parallel shard counts (for decoupled worlds, the same
 contract as ``run_parallel``).
@@ -43,6 +43,7 @@ def build_manifest(
     workers: int = 1,
     wall_seconds: Optional[float] = None,
     wall_profile: Optional[Dict[str, Any]] = None,
+    failures: Optional[Dict[str, Any]] = None,
 ) -> Manifest:
     """Assemble the manifest document for one finished campaign."""
     manifest: Manifest = {
@@ -67,6 +68,13 @@ def build_manifest(
         manifest["world"] = world
     if records_file is not None:
         manifest["records_file"] = records_file
+    if failures is not None:
+        # The supervised runner's FailureReport: which workers crashed,
+        # timed out or vanished, and what the supervisor did about it.
+        # Host-dependent (a fact about this machine's scheduler and
+        # memory pressure, not about the spec), so deterministic_view
+        # strips it like the wallclock block.
+        manifest["failures"] = failures
     if wall_seconds is not None or wall_profile is not None:
         # Host-dependent numbers live under ONE quarantined key, so
         # deterministic_view strips the whole block (profile included).
@@ -80,12 +88,13 @@ def build_manifest(
 
 
 def deterministic_view(manifest: Manifest) -> Manifest:
-    """The manifest minus host-dependent fields (the wall-clock section
-    and the records-file path): the part covered by byte-identity."""
+    """The manifest minus host-dependent fields (the wall-clock section,
+    the records-file path, and the supervision failure report): the part
+    covered by byte-identity."""
     return {
         key: value
         for key, value in manifest.items()
-        if key not in ("wallclock", "records_file")
+        if key not in ("wallclock", "records_file", "failures")
     }
 
 

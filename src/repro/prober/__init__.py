@@ -29,6 +29,14 @@ from .parallel import (
     run_single,
     validate_spec,
 )
+from .supervise import (
+    DEFAULT_SUPERVISE,
+    DEGRADE_FAIL,
+    DEGRADE_SERIAL,
+    SuperviseConfig,
+    backoff_delay_s,
+    validate_supervise,
+)
 from .permutation import KeyedPermutation, ProbeSchedule
 from .mda import MDAConfig, MDAResult, run_mda
 from .output import (
@@ -49,6 +57,9 @@ __all__ = [
     "AdaptiveConfig",
     "CampaignResult",
     "CampaignSpec",
+    "DEFAULT_SUPERVISE",
+    "DEGRADE_FAIL",
+    "DEGRADE_SERIAL",
     "DEST_PORT",
     "DecodeError",
     "DecodedProbe",
@@ -70,10 +81,12 @@ __all__ = [
     "SequentialConfig",
     "SequentialProber",
     "ShardFailure",
+    "SuperviseConfig",
     "Speedtrap",
     "SpeedtrapConfig",
     "Yarrp6",
     "Yarrp6Config",
+    "backoff_delay_s",
     "decode_quotation",
     "discover_pmtu",
     "dumps",
@@ -94,6 +107,7 @@ __all__ = [
     "run_single",
     "run_speedtrap",
     "validate_spec",
+    "validate_supervise",
     "write_campaign",
     "run_yarrp6",
 ]

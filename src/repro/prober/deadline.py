@@ -1,0 +1,57 @@
+"""Wall-clock deadlines for the supervised parallel runner.
+
+This module is the supervisor's *only* doorway to host time — an
+allowlisted wall-clock boundary in the same sense as
+:mod:`repro.obs.wallclock` (it appears in the DET001
+``WALLCLOCK_EXEMPT_MODULES`` and DetSan ``WALLCLOCK_MODULES``
+allowlists).  The narrow surface keeps the determinism argument easy to
+audit: host time read here is used exclusively for *supervision* —
+deciding that a worker is late or dead and must be replaced — never for
+anything that reaches probe bytes, records, metrics, or the merged
+result.  A retried shard re-runs ``run_shard(spec, shard, shards)``
+from the spec, so whatever the wall clock said, the payload it produces
+is byte-identical (see ``docs/robustness.md``).
+
+Everything else in :mod:`repro.prober` stays on the virtual clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def now() -> float:
+    """Monotonic host seconds; only comparable to other :func:`now` calls."""
+    return time.perf_counter()
+
+
+def sleep(seconds: float) -> None:
+    """Host sleep used for supervision pacing (poll slices, backoff)."""
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+class Deadline:
+    """A point on the host clock by which something must have happened.
+
+    ``Deadline(None)`` never expires — the supervisor uses it when no
+    per-shard timeout is configured, so call sites stay branch-free.
+    """
+
+    def __init__(
+        self, timeout_s: Optional[float], start_s: Optional[float] = None
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.start_s = now() if start_s is None else start_s
+
+    def expired(self) -> bool:
+        if self.timeout_s is None:
+            return False
+        return now() - self.start_s >= self.timeout_s
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds left, ``None`` when the deadline never expires."""
+        if self.timeout_s is None:
+            return None
+        return max(0.0, self.timeout_s - (now() - self.start_s))

@@ -59,26 +59,43 @@ import multiprocessing.pool
 import os
 import traceback
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..netsim.build import InternetConfig
 from ..netsim.engine import pps_interval
 from ..netsim.internet import Internet
+from ..obs.failures import FailureReport
 from ..obs.metrics import (
     DEFAULT_BUCKET_US,
     MetricDump,
     MetricsRegistry,
     merge_dumps,
 )
-from ..obs.profiler import NULL_PROFILER, WallProfiler, pickled_bytes
+from ..obs.profiler import NULL_PROFILER, WallProfiler
 from .campaign import CampaignResult, run_campaign
 from .permutation import ProbeSchedule
 from .records import ProbeRecord
+from .supervise import (
+    DEFAULT_SUPERVISE,
+    ShardFailure,
+    SuperviseConfig,
+    run_pool_supervised,
+    run_serial_supervised,
+    validate_supervise,
+)
 from .yarrp6 import Yarrp6Config
 
-
-class ShardFailure(RuntimeError):
-    """A worker process failed; carries the worker's traceback text."""
+if TYPE_CHECKING:  # only for annotations: the import stays lazy at runtime
+    from ..lint.faultsan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -251,8 +268,16 @@ ShardOutcome = Tuple[str, int, Union[CampaignResult, str]]
 
 
 def _shard_worker(payload: Tuple[CampaignSpec, int, int]) -> ShardOutcome:  # repro-lint: program-root
-    """Pool entry point: never raises, so a failure is a value the parent
-    turns into one clean :class:`ShardFailure` instead of a pool hang."""
+    """Unsupervised pool entry point: never raises, so a failure is a
+    value, not a pool hang.
+
+    :func:`run_parallel` now dispatches through
+    :func:`repro.prober.supervise._supervised_worker` (same contract
+    plus start announcements and fault-injection sites); this one is
+    kept as the minimal reference worker — the spawn-rebuild tests
+    drive it directly to prove a bare ``(spec, shard, shards)`` payload
+    reproduces a shard byte-identically in a fresh process.
+    """
     spec, shard, shards = payload
     try:
         return ("ok", shard, run_shard(spec, shard, shards))
@@ -269,12 +294,18 @@ def _resolve_start_method(start_method: Optional[str]) -> str:
 
 
 def _make_pool(
-    processes: int, start_method: Optional[str]
+    processes: int,
+    start_method: Optional[str],
+    initializer: Optional[Any] = None,
+    initargs: Tuple[Any, ...] = (),
 ) -> multiprocessing.pool.Pool:
     """Build the worker pool (separate hook so tests can assert that
-    validation failures never reach it)."""
+    validation failures never reach it).  ``initializer``/``initargs``
+    let the supervisor hand workers the start-report queue."""
     method = _resolve_start_method(start_method)
-    return multiprocessing.get_context(method).Pool(processes)
+    return multiprocessing.get_context(method).Pool(
+        processes, initializer=initializer, initargs=initargs
+    )
 
 
 def run_parallel(
@@ -283,6 +314,8 @@ def run_parallel(
     processes: Optional[int] = None,
     start_method: Optional[str] = None,
     profiler: Optional[WallProfiler] = None,
+    supervise: Optional[SuperviseConfig] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> CampaignResult:
     """Run ``spec`` as ``shards`` cooperating Yarrp6 instances and merge.
 
@@ -291,66 +324,60 @@ def run_parallel(
     process, which produces the identical result — the merge is a pure
     function of the shard results.
 
+    Execution is *supervised* (see :mod:`repro.prober.supervise`):
+    ``supervise`` configures per-shard deadlines, bounded deterministic
+    retries and graceful degradation; the default retries nothing and
+    fails on the first permanently-lost shard, but — unlike a bare pool
+    — a crashed, killed, or hung worker is always a detected event, and
+    every failed shard is reported in one structured
+    :class:`ShardFailure`.  What the supervisor had to do rides home on
+    the merged result's ``failures`` field (a
+    :class:`~repro.obs.failures.FailureReport` dump); because a shard
+    is a pure function of ``(spec, shard, shards)``, a retried or
+    degraded run stays byte-identical to a clean one.  ``fault_plan``
+    is FaultSan's hook (:mod:`repro.lint.faultsan`): deterministic
+    injected faults for testing the recovery paths.
+
     With a ``profiler`` the parent records the pipeline phases (world
     build/rewind, pool startup, per-shard IPC wait and result pickle
-    size, merge), each worker runs its own :class:`WallProfiler` (the
-    spec is re-sent with ``profile=True``), and the worker exports plus
-    per-shard pickled byte counts are folded into the profiler and
-    attached to the merged result's ``wall_profile``.  Profiling is
-    observe-only: probe bytes, records and metric dumps are identical
-    with and without it.
+    size, retries, merge), each worker runs its own
+    :class:`WallProfiler` (the spec is re-sent with ``profile=True``),
+    and the worker exports plus per-shard pickled byte counts are
+    folded into the profiler and attached to the merged result's
+    ``wall_profile``.  Profiling is observe-only: probe bytes, records
+    and metric dumps are identical with and without it.
     """
     prof = profiler if profiler is not None else NULL_PROFILER
+    config = supervise if supervise is not None else DEFAULT_SUPERVISE
     with prof.phase("parallel", shards=shards):
         with prof.phase("validate"):
             validate_spec(spec, shards)
+            validate_supervise(config)
         if processes is None:
             processes = min(shards, os.cpu_count() or 1)
         processes = max(1, min(processes, shards))
 
-        results: List[Optional[CampaignResult]] = [None] * shards
+        report = FailureReport()
         bytes_by_shard: Dict[int, int] = {}
         if processes == 1:
             # Serial shards share the process's world via _world_for;
             # run_shard profiles each one in place (no IPC, no pickling),
             # so the parent passes its own profiler straight through.
-            for shard in range(shards):
-                outcome: ShardOutcome
-                try:
-                    outcome = ("ok", shard, run_shard(spec, shard, shards, profiler=prof))
-                except BaseException:
-                    outcome = ("error", shard, traceback.format_exc())
-                _place(outcome, results)
+            results = run_serial_supervised(
+                spec, shards, config, fault_plan, prof, report
+            )
         else:
             worker_spec = replace(spec, profile=True) if prof.enabled else spec
-            payloads = [(worker_spec, shard, shards) for shard in range(shards)]
             if _resolve_start_method(start_method) == "fork":
                 # Build (or rewind) the shared world BEFORE the pool forks:
                 # every worker inherits the compiled topology copy-on-write
                 # and skips its own build entirely.  Spawn workers start with
                 # an empty module and rebuild from the spec's config instead.
                 _world_for(spec.internet, profiler=prof)
-            with prof.phase("pool.start", processes=processes):
-                pool = _make_pool(processes, start_method)
-            try:
-                with prof.phase("shards"):
-                    iterator = pool.imap_unordered(_shard_worker, payloads)
-                    for _ in range(shards):
-                        with prof.phase("ipc.wait"):
-                            outcome = next(iterator)
-                        if prof.enabled:
-                            # Re-pickle the outcome through a counting sink:
-                            # the same bytes the pool just moved over the
-                            # pipe, attributed per shard.
-                            with prof.phase("pickle", shard=outcome[1]):
-                                count = pickled_bytes(outcome)
-                                prof.add_bytes(count)
-                                bytes_by_shard[outcome[1]] = count
-                        _place(outcome, results)
-            finally:
-                with prof.phase("pool.stop"):
-                    pool.terminate()
-                    pool.join()
+            results, bytes_by_shard = run_pool_supervised(
+                worker_spec, shards, processes, start_method, config,
+                fault_plan, prof, report,
+            )
         with prof.phase("merge"):
             merged = merge_results(
                 [result for result in results if result is not None],
@@ -358,6 +385,7 @@ def run_parallel(
                 name=spec.default_name(),
                 targets=len(spec.targets),
             )
+        merged = replace(merged, failures=report.to_dict())
     if prof.enabled:
         for shard, result in enumerate(results):
             if result is not None and result.wall_profile is not None:
@@ -369,15 +397,6 @@ def run_parallel(
             # caller still inside its own phase snapshots later itself.
             merged = replace(merged, wall_profile=prof.to_profile_dict())
     return merged
-
-
-def _place(outcome: ShardOutcome, results: List[Optional[CampaignResult]]) -> None:
-    status, shard, value = outcome
-    if status != "ok" or not isinstance(value, CampaignResult):
-        raise ShardFailure(
-            "shard %d worker failed:\n%s" % (shard, value)
-        )
-    results[shard] = value
 
 
 def _record_send_time(record: ProbeRecord) -> int:

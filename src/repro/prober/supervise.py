@@ -1,0 +1,715 @@
+"""Supervised shard execution: deadlines, dead-worker detection,
+deterministic retry, graceful degradation.
+
+:func:`repro.prober.parallel.run_parallel` hands the actual execution
+of its shards to this module.  The contract it relies on — and the
+reason supervision can exist at all without threatening the bit-identity
+guarantees — is that **a shard is a pure function of** ``(spec, shard,
+shards)``: ``run_shard`` rebuilds (or rewinds) the world from the spec
+and replays the permutation walk on the virtual clock, so running a
+shard a second time produces byte-identical records, metrics, and
+summary counters.  Retrying a lost shard is therefore *invisible* in
+the merged result; only the :class:`~repro.obs.failures.FailureReport`
+(and the host's wall clock) can tell a faulted run from a clean one.
+FaultSan (:mod:`repro.lint.faultsan`) proves this differentially.
+
+What the supervisor defends against, and how:
+
+- **Worker crash** — the worker entry point catches everything and
+  returns an ``("error", shard, traceback)`` outcome; the supervisor
+  counts it as a ``crash`` fault and retries.
+- **Silent worker death** (SIGKILL, OOM killer) — every attempt
+  announces ``(shard, attempt, pid)`` on a start queue the moment a
+  worker picks it up; the supervisor polls worker liveness and treats a
+  vanished pid as a ``worker-died`` fault instead of hanging forever on
+  a result that will never arrive.  The pool replaces the dead process
+  on its own; the retry is dispatched like any other task.
+- **Hang / runaway shard** — with ``shard_timeout_s`` set, an attempt
+  that outlives its deadline (measured from its start announcement on
+  the host clock, via the :mod:`repro.prober.deadline` boundary) has
+  its worker SIGKILLed and is counted as a ``timeout`` fault.
+- **Corrupt result** — a result that fails to cross the pool pipe
+  (pickling error) surfaces through the pool's error callback and is
+  counted as a ``corrupt-result`` fault; the retry re-runs the shard
+  rather than trusting broken bytes.
+
+Retries are bounded (``max_retries``) with deterministic seeded backoff
+— the delay is a pure function of ``(seed, shard, attempt)``, so two
+runs facing the same faults pace their retries identically.  A shard
+that exhausts its attempts either fails the campaign with a structured
+:class:`ShardFailure` carrying *every* exhausted shard's history
+(``degrade="fail"``), or falls back to running serially in the parent
+process (``degrade="serial"``) — the slowest but most isolated path,
+and byte-identical by the same purity argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import os
+import queue
+import signal
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.failures import (
+    CAUSE_CORRUPT,
+    CAUSE_CRASH,
+    CAUSE_TIMEOUT,
+    CAUSE_WORKER_DIED,
+    FailureReport,
+)
+from ..obs.profiler import NULL_PROFILER, WallProfiler, pickled_bytes
+from . import deadline
+from .campaign import CampaignResult
+
+if TYPE_CHECKING:  # pure type cycle: parallel imports supervise at runtime
+    from ..lint.faultsan import FaultPlan
+    from .parallel import CampaignSpec
+
+
+class ShardFailure(RuntimeError):
+    """One or more shards failed permanently.
+
+    The message names every exhausted shard with its attempt count,
+    last cause, and last traceback; ``failures`` carries the same
+    history structured: a tuple of ``{"shard", "attempts", "faults"}``
+    dicts, where each fault is ``{"attempt", "cause", "detail"}``.
+    """
+
+    def __init__(
+        self, message: str, failures: Sequence[Dict[str, Any]] = ()
+    ) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+DEGRADE_FAIL = "fail"
+DEGRADE_SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class SuperviseConfig:
+    """How hard :func:`run_parallel` fights to finish a campaign.
+
+    The default is the strictest setting: no timeout, no retries, fail
+    on the first permanently-lost shard — byte-for-byte the semantics
+    an unsupervised pool would have, minus the hangs.
+    """
+
+    #: Per-attempt wall-clock deadline, measured from the moment a
+    #: worker announces the attempt.  ``None`` disables deadlines.
+    #: Ignored on the in-process serial path (``processes=1``), where
+    #: there is no worker to preempt.
+    shard_timeout_s: Optional[float] = None
+    #: Extra attempts after the first, per shard.
+    max_retries: int = 0
+    #: Base of the deterministic exponential backoff between attempts;
+    #: attempt ``n``'s retry waits ``base * 2**(n-1) * (1 + jitter)``
+    #: where jitter in ``[0, 1)`` is a pure function of
+    #: ``(seed, shard, n)``.  Zero disables backoff.
+    backoff_base_s: float = 0.05
+    #: What to do with a shard that exhausts its attempts: ``"fail"``
+    #: raises one :class:`ShardFailure` naming every exhausted shard;
+    #: ``"serial"`` re-runs each exhausted shard in the parent process
+    #: after the pool shuts down.
+    degrade: str = DEGRADE_FAIL
+    #: Supervision loop tick: upper bound on how long deadline and
+    #: liveness checks can lag behind events.
+    poll_interval_s: float = 0.02
+
+    def attempts(self) -> int:
+        return 1 + self.max_retries
+
+
+DEFAULT_SUPERVISE = SuperviseConfig()
+
+
+def validate_supervise(config: SuperviseConfig) -> None:
+    """Raise ``ValueError`` before any worker forks, like
+    :func:`repro.prober.parallel.validate_spec`."""
+    if config.shard_timeout_s is not None and config.shard_timeout_s <= 0:
+        raise ValueError(
+            "shard_timeout_s must be positive or None: %r"
+            % config.shard_timeout_s
+        )
+    if config.max_retries < 0:
+        raise ValueError("max_retries must be >= 0: %r" % config.max_retries)
+    if config.backoff_base_s < 0:
+        raise ValueError(
+            "backoff_base_s must be >= 0: %r" % config.backoff_base_s
+        )
+    if config.degrade not in (DEGRADE_FAIL, DEGRADE_SERIAL):
+        raise ValueError(
+            "degrade must be %r or %r: %r"
+            % (DEGRADE_FAIL, DEGRADE_SERIAL, config.degrade)
+        )
+    if config.poll_interval_s <= 0:
+        raise ValueError(
+            "poll_interval_s must be positive: %r" % config.poll_interval_s
+        )
+
+
+# -- deterministic backoff --------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(*values: int) -> int:
+    """splitmix64-style avalanche over the inputs: a pure integer hash
+    (the builtin ``hash`` is PYTHONHASHSEED-dependent and DET001-banned)."""
+    acc = 0
+    for value in values:
+        acc = (acc + (value & _MASK64) + 0x9E3779B97F4A7C15) & _MASK64
+        acc ^= acc >> 30
+        acc = (acc * 0xBF58476D1CE4E5B9) & _MASK64
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & _MASK64
+        acc ^= acc >> 31
+    return acc
+
+
+def backoff_delay_s(
+    config: SuperviseConfig, seed: int, shard: int, attempt: int
+) -> float:
+    """Seconds to wait before re-dispatching ``shard`` after failed
+    attempt ``attempt``: exponential in the attempt, jittered by a pure
+    function of ``(seed, shard, attempt)`` — deterministic across runs."""
+    if config.backoff_base_s <= 0:
+        return 0.0
+    jitter = _mix64(seed, shard, attempt) / float(1 << 64)
+    return config.backoff_base_s * (2.0 ** (attempt - 1)) * (1.0 + jitter)
+
+
+# -- worker side ------------------------------------------------------------
+
+#: The start-report queue inherited by pool workers (set by
+#: :func:`_init_worker` via the pool initializer): workers announce
+#: ``(shard, attempt, pid)`` the instant they pick up a task, giving the
+#: parent the pid to watch (liveness) and the deadline's start time.
+_START_QUEUE: Optional[Any] = None
+
+
+def _init_worker(start_queue: Any) -> None:
+    global _START_QUEUE
+    _START_QUEUE = start_queue
+
+
+#: ``(spec, shard, shards, attempt, fault_plan)``.
+WorkerPayload = Tuple["CampaignSpec", int, int, int, Optional["FaultPlan"]]
+
+
+def _inject(
+    plan: Optional["FaultPlan"], shard: int, attempt: int, site: str, value: Any = None
+) -> Any:
+    """FaultSan hook: a no-op returning ``value`` unless a fault plan
+    names this exact ``(shard, attempt, site)``.  The import is lazy so
+    the prober package only touches the lint package under injection."""
+    if plan is None:
+        return value
+    from ..lint.faultsan import inject
+
+    return inject(plan, shard, attempt, site, value)
+
+
+def _supervised_worker(payload: WorkerPayload) -> Tuple[str, int, Any]:  # repro-lint: program-root
+    """Pool entry point: announce, run the shard, never raise.
+
+    Failures come back as ``("error", shard, traceback)`` values; the
+    supervisor turns them into retries or one clean
+    :class:`ShardFailure` instead of a pool hang.
+    """
+    spec, shard, shards, attempt, plan = payload
+    if _START_QUEUE is not None:
+        _START_QUEUE.put((shard, attempt, os.getpid()))
+    try:
+        _inject(plan, shard, attempt, "worker.start")
+        from .parallel import run_shard
+
+        result: Any = run_shard(spec, shard, shards)
+        result = _inject(plan, shard, attempt, "worker.result", result)
+        return ("ok", shard, result)
+    except BaseException:
+        return ("error", shard, traceback.format_exc())
+
+
+# -- supervisor bookkeeping -------------------------------------------------
+
+
+@dataclass
+class _ShardState:
+    """Everything the supervisor knows about one shard."""
+
+    shard: int
+    attempt: int = 0  # attempts dispatched so far (1-based once running)
+    dispatched: bool = False  # an attempt is in flight
+    handle: Optional[Any] = None  # the in-flight attempt's AsyncResult
+    pid: Optional[int] = None  # worker running the attempt, once announced
+    started_s: Optional[float] = None  # host time of the announcement
+    ready_at_s: float = 0.0  # backoff gate for the next dispatch
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    result: Optional[CampaignResult] = None
+    exhausted: bool = False
+
+
+def _shard_failure(failed: Sequence[_ShardState], attempts: int) -> ShardFailure:
+    blocks = []
+    entries = []
+    for state in failed:
+        last = state.faults[-1] if state.faults else {"cause": "unknown", "detail": ""}
+        blocks.append(
+            "shard %d worker failed permanently (%s on attempt %d of %d):\n%s"
+            % (
+                state.shard,
+                last["cause"],
+                len(state.faults),
+                attempts,
+                last["detail"] or last["cause"],
+            )
+        )
+        entries.append(
+            {
+                "shard": state.shard,
+                "attempts": len(state.faults),
+                "faults": [dict(fault) for fault in state.faults],
+            }
+        )
+    message = "%d shard(s) failed permanently:\n%s" % (
+        len(failed),
+        "\n".join(blocks),
+    )
+    return ShardFailure(message, failures=entries)
+
+
+def _fault(
+    state: _ShardState,
+    cause: str,
+    detail: str,
+    config: SuperviseConfig,
+    seed: int,
+    report: FailureReport,
+    prof: WallProfiler,
+) -> None:
+    """Record one failed attempt and decide: retry (arming the backoff
+    gate) or mark the shard exhausted."""
+    attempt = state.attempt
+    state.dispatched = False
+    state.pid = None
+    state.started_s = None
+    state.faults.append({"attempt": attempt, "cause": cause, "detail": detail})
+    report.record_fault(state.shard, attempt, cause, detail)
+    if attempt >= config.attempts():
+        state.exhausted = True
+        return
+    state.ready_at_s = deadline.now() + backoff_delay_s(
+        config, seed, state.shard, attempt
+    )
+    report.record_retry(state.shard)
+    with prof.phase(
+        "shard.retry", shard=state.shard, attempt=attempt + 1, cause=cause
+    ):
+        pass  # marker span: retries show up in the wall profile
+
+
+def _finish(
+    spec: "CampaignSpec",
+    shards: int,
+    states: Sequence[_ShardState],
+    config: SuperviseConfig,
+    prof: WallProfiler,
+    report: FailureReport,
+) -> None:
+    """Resolve exhausted shards: degrade serially in-parent or raise."""
+    exhausted = [state for state in states if state.exhausted]
+    if not exhausted:
+        return
+    if config.degrade != DEGRADE_SERIAL:
+        raise _shard_failure(exhausted, config.attempts())
+    from .parallel import run_shard
+
+    for state in exhausted:
+        # The most isolated retry there is: no pool, no pipe, no fault
+        # injection — and byte-identical, because a shard is a pure
+        # function of (spec, shard, shards).  A shard that fails even
+        # here has a real bug; let it raise.
+        with prof.phase("shard.degrade", shard=state.shard):
+            state.result = run_shard(spec, state.shard, shards, profiler=prof)
+        state.exhausted = False
+        report.record_degraded(state.shard)
+
+
+# -- serial path ------------------------------------------------------------
+
+
+def run_serial_supervised(
+    spec: "CampaignSpec",
+    shards: int,
+    config: SuperviseConfig,
+    plan: Optional["FaultPlan"],
+    prof: WallProfiler,
+    report: FailureReport,
+) -> List[Optional[CampaignResult]]:
+    """All shards in this process, with the same retry/degrade semantics
+    as the pool path (deadlines excepted: in-process work can't be
+    preempted).  Shards share the process world via ``_world_for`` and
+    profile straight into the parent's profiler, exactly like the
+    unsupervised serial path did."""
+    from .parallel import run_shard
+
+    states = [_ShardState(shard=shard) for shard in range(shards)]
+    seed = spec.internet.seed
+    for state in states:
+        while state.result is None and not state.exhausted:
+            state.attempt += 1
+            try:
+                _inject(plan, state.shard, state.attempt, "worker.start")
+                value: Any = run_shard(spec, state.shard, shards, profiler=prof)
+                value = _inject(
+                    plan, state.shard, state.attempt, "worker.result", value
+                )
+            except BaseException:
+                _fault(
+                    state,
+                    CAUSE_CRASH,
+                    traceback.format_exc(),
+                    config,
+                    seed,
+                    report,
+                    prof,
+                )
+            else:
+                if isinstance(value, CampaignResult):
+                    state.result = value
+                else:
+                    _fault(
+                        state,
+                        CAUSE_CORRUPT,
+                        "shard %d attempt %d returned %r instead of a "
+                        "CampaignResult" % (state.shard, state.attempt, value),
+                        config,
+                        seed,
+                        report,
+                        prof,
+                    )
+            if state.result is None and not state.exhausted:
+                deadline.sleep(state.ready_at_s - deadline.now())
+    _finish(spec, shards, states, config, prof, report)
+    return [state.result for state in states]
+
+
+# -- pool path --------------------------------------------------------------
+
+
+def _kill(pid: Optional[int]) -> None:
+    if pid is None:
+        return
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):  # already gone / not ours
+        pass
+
+
+def _discard(pool: multiprocessing.pool.Pool, state: _ShardState) -> None:
+    """Write off ``state``'s in-flight job in the pool's bookkeeping.
+
+    A job whose worker died never completes, so its entry would sit in
+    ``pool._cache`` forever — and ``close()``/``join()`` only finishes
+    once the cache drains.  Dropping the entry ourselves keeps the
+    clean-shutdown path reachable after a worker loss.  (The pool's
+    result handler tolerates a late result for a dropped job: it looks
+    the job up by id and ignores misses.)
+    """
+    handle, state.handle = state.handle, None
+    if handle is None:
+        return
+    job = getattr(handle, "_job", None)
+    cache = getattr(pool, "_cache", None)
+    if job is not None and isinstance(cache, dict):
+        cache.pop(job, None)
+
+
+def _live_pids(pool: multiprocessing.pool.Pool) -> Optional[Any]:
+    """Pids of the pool's currently-alive workers, or ``None`` when the
+    pool implementation doesn't expose them (liveness checks degrade to
+    deadline-only supervision)."""
+    workers = getattr(pool, "_pool", None)
+    if workers is None:
+        return None
+    return {
+        worker.pid
+        for worker in workers
+        if worker.pid is not None and worker.is_alive()
+    }
+
+
+def _drain_start_reports(start_queue: Any, states: Sequence[_ShardState]) -> None:
+    while not start_queue.empty():
+        shard, attempt, pid = start_queue.get()
+        state = states[shard]
+        if state.dispatched and attempt == state.attempt:
+            state.pid = pid
+            state.started_s = deadline.now()
+        # else: a stale announcement from a killed/raced attempt
+
+
+def _poll_slice(
+    states: Sequence[_ShardState], config: SuperviseConfig, now_s: float
+) -> float:
+    """How long the event wait may block without missing a deadline, a
+    backoff gate opening, or a liveness tick."""
+    slice_s = config.poll_interval_s
+    for state in states:
+        if state.result is not None or state.exhausted:
+            continue
+        if state.dispatched:
+            if config.shard_timeout_s is not None and state.started_s is not None:
+                slice_s = min(
+                    slice_s,
+                    state.started_s + config.shard_timeout_s - now_s,
+                )
+        else:
+            slice_s = min(slice_s, state.ready_at_s - now_s)
+    return max(0.001, slice_s)
+
+
+def run_pool_supervised(
+    spec: "CampaignSpec",
+    shards: int,
+    processes: int,
+    start_method: Optional[str],
+    config: SuperviseConfig,
+    plan: Optional["FaultPlan"],
+    prof: WallProfiler,
+    report: FailureReport,
+) -> Tuple[List[Optional[CampaignResult]], Dict[int, int]]:
+    """Run every shard through a supervised worker pool.
+
+    Results and pool errors arrive through ``apply_async`` callbacks on
+    an event queue (so a vanished worker can't hang the parent the way
+    a bare ``imap_unordered`` iterator would); the supervision loop
+    alternates between waiting for events and sweeping deadlines and
+    worker liveness.  Returns the per-shard results plus the pickled
+    result size per shard for the profiler.
+
+    Pool shutdown is ``close()``/``join()`` whenever the supervision
+    loop ran to completion — workers exit cleanly and run their
+    exit finalizers — and ``terminate()`` only when the loop itself
+    died (unexpected error, KeyboardInterrupt) and abandoned dispatched
+    work.
+    """
+    from .parallel import _make_pool
+
+    states = [_ShardState(shard=shard) for shard in range(shards)]
+    bytes_by_shard: Dict[int, int] = {}
+    seed = spec.internet.seed
+    events: "queue.Queue[Tuple[str, int, int, Any]]" = queue.Queue()
+    start_queue = multiprocessing.get_context(
+        _resolve_method(start_method)
+    ).SimpleQueue()
+
+    with prof.phase("pool.start", processes=processes):
+        pool = _make_pool(
+            processes, start_method, initializer=_init_worker,
+            initargs=(start_queue,),
+        )
+    completed = False
+    try:
+        with prof.phase("shards"):
+            _pump(
+                pool, spec, shards, states, config, plan, prof, report,
+                seed, start_queue, events, bytes_by_shard,
+            )
+        completed = True
+    finally:
+        with prof.phase("pool.stop"):
+            if completed:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+    _finish(spec, shards, states, config, prof, report)
+    return [state.result for state in states], bytes_by_shard
+
+
+def _resolve_method(start_method: Optional[str]) -> str:
+    from .parallel import _resolve_start_method
+
+    return _resolve_start_method(start_method)
+
+
+def _dispatch(
+    pool: multiprocessing.pool.Pool,
+    spec: "CampaignSpec",
+    shards: int,
+    state: _ShardState,
+    plan: Optional["FaultPlan"],
+    events: "queue.Queue[Tuple[str, int, int, Any]]",
+) -> None:
+    state.attempt += 1
+    state.dispatched = True
+    state.pid = None
+    state.started_s = None
+    shard, attempt = state.shard, state.attempt
+    payload: WorkerPayload = (spec, shard, shards, attempt, plan)
+
+    def on_result(outcome: Any, shard: int = shard, attempt: int = attempt) -> None:
+        events.put(("result", shard, attempt, outcome))
+
+    def on_error(
+        error: BaseException, shard: int = shard, attempt: int = attempt
+    ) -> None:
+        # The pool failed to move the result across the pipe (e.g. a
+        # MaybeEncodingError from an unpicklable result): the shard ran,
+        # but its bytes are untrustworthy.
+        events.put(("error", shard, attempt, "%s: %s" % (type(error).__name__, error)))
+
+    state.handle = pool.apply_async(
+        _supervised_worker, (payload,), callback=on_result,
+        error_callback=on_error,
+    )
+
+
+def _absorb_event(
+    event: Tuple[str, int, int, Any],
+    states: Sequence[_ShardState],
+    config: SuperviseConfig,
+    seed: int,
+    report: FailureReport,
+    prof: WallProfiler,
+    bytes_by_shard: Dict[int, int],
+) -> None:
+    kind, shard, attempt, payload = event
+    state = states[shard]
+    if not state.dispatched or attempt != state.attempt or state.result is not None:
+        return  # stale: a late event from an attempt already written off
+    state.handle = None  # the job completed; the pool dropped it itself
+    if kind == "error":
+        _fault(state, CAUSE_CORRUPT, payload, config, seed, report, prof)
+        return
+    status, _shard, value = payload  # a ShardOutcome tuple
+    if status == "ok" and isinstance(value, CampaignResult):
+        if prof.enabled:
+            # Re-pickle the outcome through a counting sink: the same
+            # bytes the pool just moved over the pipe, per shard.
+            with prof.phase("pickle", shard=shard):
+                count = pickled_bytes(payload)
+                prof.add_bytes(count)
+                bytes_by_shard[shard] = count
+        state.result = value
+        state.dispatched = False
+        state.pid = None
+        return
+    detail = value if isinstance(value, str) else repr(value)
+    _fault(state, CAUSE_CRASH, detail, config, seed, report, prof)
+
+
+def _check_deadlines(
+    pool: multiprocessing.pool.Pool,
+    states: Sequence[_ShardState],
+    config: SuperviseConfig,
+    seed: int,
+    report: FailureReport,
+    prof: WallProfiler,
+) -> None:
+    if config.shard_timeout_s is None:
+        return
+    now_s = deadline.now()
+    for state in states:
+        if not state.dispatched or state.started_s is None:
+            continue
+        if now_s - state.started_s < config.shard_timeout_s:
+            continue
+        pid = state.pid
+        _kill(pid)  # the pool replaces the worker on its own
+        _discard(pool, state)
+        _fault(
+            state,
+            CAUSE_TIMEOUT,
+            "shard %d attempt %d exceeded the %.3fs deadline; "
+            "worker pid %s killed"
+            % (state.shard, state.attempt, config.shard_timeout_s, pid),
+            config,
+            seed,
+            report,
+            prof,
+        )
+
+
+def _check_liveness(
+    pool: multiprocessing.pool.Pool,
+    states: Sequence[_ShardState],
+    config: SuperviseConfig,
+    seed: int,
+    report: FailureReport,
+    prof: WallProfiler,
+) -> None:
+    live = _live_pids(pool)
+    if live is None:
+        return
+    for state in states:
+        if not state.dispatched or state.pid is None:
+            continue
+        if state.pid in live:
+            continue
+        _discard(pool, state)
+        _fault(
+            state,
+            CAUSE_WORKER_DIED,
+            "shard %d attempt %d: worker pid %d vanished without a result "
+            "(killed or out-of-memory)" % (state.shard, state.attempt, state.pid),
+            config,
+            seed,
+            report,
+            prof,
+        )
+
+
+def _pump(
+    pool: multiprocessing.pool.Pool,
+    spec: "CampaignSpec",
+    shards: int,
+    states: Sequence[_ShardState],
+    config: SuperviseConfig,
+    plan: Optional["FaultPlan"],
+    prof: WallProfiler,
+    report: FailureReport,
+    seed: int,
+    start_queue: Any,
+    events: "queue.Queue[Tuple[str, int, int, Any]]",
+    bytes_by_shard: Dict[int, int],
+) -> None:
+    """The supervision loop: dispatch, wait, absorb, sweep — until every
+    shard has a result or is exhausted."""
+    while True:
+        pending = [
+            state
+            for state in states
+            if state.result is None and not state.exhausted
+        ]
+        if not pending:
+            return
+        now_s = deadline.now()
+        for state in pending:
+            if not state.dispatched and now_s >= state.ready_at_s:
+                _dispatch(pool, spec, shards, state, plan, events)
+        with prof.phase("ipc.wait"):
+            _drain_start_reports(start_queue, states)
+            try:
+                event: Optional[Tuple[str, int, int, Any]] = events.get(
+                    timeout=_poll_slice(states, config, deadline.now())
+                )
+            except queue.Empty:
+                event = None
+        while event is not None:
+            _absorb_event(
+                event, states, config, seed, report, prof, bytes_by_shard
+            )
+            try:
+                event = events.get_nowait()
+            except queue.Empty:
+                event = None
+        _drain_start_reports(start_queue, states)
+        _check_deadlines(pool, states, config, seed, report, prof)
+        _check_liveness(pool, states, config, seed, report, prof)

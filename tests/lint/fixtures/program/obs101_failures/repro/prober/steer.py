@@ -1,0 +1,20 @@
+"""OBS101 fixture: FailureReport readbacks steering the prober."""
+
+from repro.obs.failures import FailureReport
+
+
+def retry_policy(report: FailureReport, budget):
+    report.record_fault(1, 1, "crash", "boom")  # fine: telemetry write
+    if report.counts():  # flagged: branch condition
+        return 0
+    remaining = budget - report.counts()  # flagged: operand
+    return remaining
+
+
+class Supervisor:
+    def __init__(self, report: FailureReport):
+        report.record_retry(3)  # fine: mutating telemetry
+        self.last = report.faults()  # flagged: object state
+
+    def ship(self, report: FailureReport):
+        return report.to_dict()  # fine: readbacks may flow out

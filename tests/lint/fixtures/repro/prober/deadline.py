@@ -1,0 +1,23 @@
+"""DET001 fixture: the supervision deadline boundary.
+
+The path under ``fixtures/repro/prober/`` derives the module name
+``repro.prober.deadline``, which DET001 exempts from wall-clock reads —
+the supervisor must watch host time to catch hung workers.  Like every
+allowlisted boundary, the exemption covers exactly the time subset:
+entropy stays banned even here.
+"""
+
+import os
+import time
+
+
+def now():
+    return time.perf_counter()  # exempt: supervision reads host time
+
+
+def armed_at():
+    return time.monotonic()  # exempt: still a wall-clock read
+
+
+def jitter_entropy():
+    return os.urandom(8)  # flagged: entropy is never exempt

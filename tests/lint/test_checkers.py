@@ -62,6 +62,13 @@ class TestDET001:
         assert lines_for(violations, "DET001") == [22]
         assert "os.urandom" in violations[0].message
 
+    def test_deadline_boundary_time_reads_exempt_entropy_not(self):
+        """repro.prober.deadline is the supervisor's allowlisted doorway
+        to host time — same shape as the wallclock boundary."""
+        violations = lint_file(fixture_path("repro", "prober", "deadline.py"))
+        assert lines_for(violations, "DET001") == [23]
+        assert "os.urandom" in violations[0].message
+
     def test_instrumented_sim_code_cannot_read_wall_time(self):
         violations = lint_file(fixture_path("repro", "obs", "metrics_bad.py"))
         assert lines_for(violations, "DET001") == [18]

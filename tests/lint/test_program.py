@@ -169,6 +169,31 @@ def test_obs101_profiler_observe_path_is_clean():
     assert not any("observe.py" in v.path for v in violations)
 
 
+def test_obs101_flags_failure_report_readbacks_steering_the_prober():
+    """A FailureReport is telemetry like any other obs handle: the
+    supervisor may record faults and ship the block out, but retry
+    policy steered by a readback would make failure accounting
+    load-bearing."""
+    violations, _ = run_fixture("obs101_failures", select=["OBS101"])
+    assert all(v.rule == "OBS101" for v in violations)
+    assert located(violations) == [
+        ("steer.py", 8),
+        ("steer.py", 10),
+        ("steer.py", 17),
+    ]
+    by_line = {v.line: v.message for v in violations}
+    assert "counts()" in by_line[8]
+    assert "counts()" in by_line[10]
+    assert "faults()" in by_line[17]
+
+
+def test_obs101_failure_report_write_and_ship_paths_are_clean():
+    # record_fault/record_retry mutate telemetry (sanctioned) and
+    # to_dict() flowing out through a return never comes back in.
+    violations, _ = run_fixture("obs101_failures", select=["OBS101"])
+    assert {v.line for v in violations} == {8, 10, 17}
+
+
 # -- MUT101: shared-world shard safety --------------------------------------
 
 

@@ -66,15 +66,56 @@ class TestBuild:
         assert manifest["wallclock"] == {"seconds": 1.25}
 
 
+class TestFailuresBlock:
+    def failures(self, retries=0):
+        return {
+            "format": "repro-failures/1",
+            "metrics": {
+                "shard.retries": {
+                    "kind": "counter", "scope": "run", "value": retries,
+                },
+            },
+            "attempts": [],
+            "degraded": [],
+        }
+
+    def test_failures_block_rides_in_verbatim(self):
+        block = self.failures(retries=2)
+        manifest = build_manifest(result(), seed=7, failures=block)
+        assert manifest["failures"] == block
+
+    def test_absent_by_default(self):
+        assert "failures" not in build_manifest(result(), seed=7)
+
+    def test_deterministic_view_strips_failures(self):
+        """How often this host lost a worker is a fact about the host,
+        not the spec: a retried run and a clean run must agree."""
+        clean = build_manifest(result(), seed=7, failures=self.failures(0))
+        faulted = build_manifest(result(), seed=7, failures=self.failures(3))
+        assert manifest_dumps(clean) != manifest_dumps(faulted)
+        assert manifest_dumps(deterministic_view(clean)) == manifest_dumps(
+            deterministic_view(faulted)
+        )
+
+
 class TestDeterministicView:
     def test_strips_host_dependent_sections_only(self):
         manifest = build_manifest(
-            result(), seed=7, records_file="a.yrp6", wall_seconds=0.5
+            result(),
+            seed=7,
+            records_file="a.yrp6",
+            wall_seconds=0.5,
+            failures={"format": "repro-failures/1"},
         )
         view = deterministic_view(manifest)
         assert "wallclock" not in view
         assert "records_file" not in view
-        assert set(manifest) - set(view) == {"wallclock", "records_file"}
+        assert "failures" not in view
+        assert set(manifest) - set(view) == {
+            "wallclock",
+            "records_file",
+            "failures",
+        }
 
     def test_view_is_byte_stable_across_wallclock(self):
         fast = build_manifest(result(), seed=7, wall_seconds=0.1)

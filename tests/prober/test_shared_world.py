@@ -183,12 +183,16 @@ class TestSpawnFallback:
         "spawn" not in multiprocessing.get_all_start_methods(),
         reason="spawn start method unavailable",
     )
-    def test_spawn_pool_end_to_end(self):
-        """One real spawn pool run: slower (each worker reimports and
-        rebuilds) but byte-identical."""
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_spawn_pool_end_to_end(self, shards):
+        """Real spawn pool runs at shards {2, 4}: slower (each worker
+        reimports and rebuilds) but byte-identical — this is the
+        explicit ``start_method="spawn"`` leg of the detsan CI gate."""
         spec = make_spec(n_targets=12, pps=1500.0)
         reference = run_single(spec)
-        merged = run_parallel(spec, shards=2, processes=2, start_method="spawn")
+        merged = run_parallel(
+            spec, shards=shards, processes=2, start_method="spawn"
+        )
         assert dumps(merged) == dumps(reference)
 
     def test_resolve_start_method(self):
