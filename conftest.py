@@ -5,9 +5,11 @@ test inside the determinism sanitizer (``repro.lint.detsan``),
 ``pytest --shardsan`` inside the shared-world write sanitizer
 (``repro.lint.shardsan``), and ``pytest --faultsan`` enables the
 fault-injection chaos suite (``repro.lint.faultsan``; the marked tests
-skip without the flag).  The plugins live in the package so they are
-importable wherever ``repro`` is; registering them here (the rootdir
-conftest) keeps ``pytest`` invocations from any subdirectory
+skip without the flag), and ``pytest --allocsan`` enables the
+allocation-budget suite (``repro.lint.allocsan``; campaigns under
+tracemalloc, also marker-gated).  The plugins live in the package so
+they are importable wherever ``repro`` is; registering them here (the
+rootdir conftest) keeps ``pytest`` invocations from any subdirectory
 consistent.
 """
 
@@ -15,4 +17,5 @@ pytest_plugins = [
     "repro.lint.detsan_pytest",
     "repro.lint.shardsan_pytest",
     "repro.lint.faultsan_pytest",
+    "repro.lint.allocsan_pytest",
 ]

@@ -170,9 +170,26 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
     metrics_path = getattr(args, "metrics", None)
     detsan = getattr(args, "detsan", False)
     shardsan = getattr(args, "shardsan", False)
+    allocsan = getattr(args, "allocsan", False)
+    allocsan_report = getattr(args, "allocsan_report", None)
     profile_path = getattr(args, "profile", None)
-    if detsan and shardsan:
-        out.write("--detsan and --shardsan are mutually exclusive\n")
+    if sum((detsan, shardsan, allocsan)) > 1:
+        out.write("--detsan, --shardsan and --allocsan are mutually exclusive\n")
+        return 2
+    if allocsan and profile_path:
+        out.write(
+            "--profile and --allocsan are mutually exclusive (allocsan runs "
+            "its own profiler under tracemalloc)\n"
+        )
+        return 2
+    if allocsan and workers > 1:
+        out.write(
+            "--allocsan requires --workers 1 (the hot phase runs inside "
+            "worker processes tracemalloc cannot observe)\n"
+        )
+        return 2
+    if allocsan_report and not allocsan:
+        out.write("--allocsan-report requires --allocsan\n")
         return 2
     if shardsan and args.prober != "yarrp6":
         out.write("--shardsan requires the yarrp6 prober (shared-world shards)\n")
@@ -197,8 +214,9 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
     # observe-only: the .yrp6 bytes are identical with and without it.
     profilers: List[WallProfiler] = []
 
-    def run_once():
-        prof = WallProfiler() if profile_path else NULL_PROFILER
+    def run_once(prof=None):
+        if prof is None:
+            prof = WallProfiler() if profile_path else NULL_PROFILER
         profilers.append(prof)
         with prof.phase("probe", prober=args.prober, workers=workers):
             if workers > 1:
@@ -292,6 +310,47 @@ def cmd_probe(args: argparse.Namespace, out: TextIO) -> int:
             if result is None:
                 result = sharded
         out.write("shardsan: clean (0 unregistered writes across shards 1/2/4)\n")
+    elif allocsan:
+        # Runtime counterpart of the PERF101-103 static rules: account
+        # tracemalloc bytes and allocator blocks around the hot
+        # campaign.run phase and enforce the per-probe / per-batch
+        # allocation budgets.  Observe-only: the .yrp6 bytes are
+        # identical to an unsanitized run.
+        from repro.lint.allocsan import (
+            AllocSanProfiler,
+            build_report,
+            check_budgets,
+            write_report,
+        )
+
+        with AllocSanProfiler() as alloc_prof:
+            result = run_once(alloc_prof)
+        report = build_report(alloc_prof, result)
+        if allocsan_report:
+            write_report(allocsan_report, report)
+            out.write("allocsan: budget report -> %s\n" % allocsan_report)
+        blown = check_budgets(report)
+        if blown:
+            for failure in blown:
+                out.write("allocsan: %s\n" % failure)
+            out.write(
+                "allocsan: %d budget violation(s) — the hot path allocates "
+                "beyond its contract\n" % len(blown)
+            )
+            return 1
+        tracked = report["tracked"]
+        out.write(
+            "allocsan: clean (%.1f bytes/probe <= %.0f, %.1f blocks/batch "
+            "<= %.0f over %d probes / %d batches)\n"
+            % (
+                tracked["allocsan.bytes_per_probe"]["value"],
+                report["budgets"]["allocsan.bytes_per_probe"],
+                tracked["allocsan.blocks_per_batch"]["value"],
+                report["budgets"]["allocsan.blocks_per_batch"],
+                report["probes"],
+                report["batches"],
+            )
+        )
     else:
         result = run_once()
     rows = save_campaign(args.out, result)
@@ -589,6 +648,21 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign at shard widths 1, 2 and 4 on one watched world and "
         "require zero writes to unregistered state (yarrp6 only; exit 1 "
         "on any report)",
+    )
+    probe.add_argument(
+        "--allocsan",
+        action="store_true",
+        help="run under the AllocSan allocation-budget sanitizer: account "
+        "tracemalloc bytes and allocator blocks around the hot "
+        "campaign.run phase and enforce the per-probe / per-batch "
+        "budgets (single process; exit 1 on a blown budget)",
+    )
+    probe.add_argument(
+        "--allocsan-report",
+        metavar="PATH",
+        help="with --allocsan, write the budget report JSON (tracked "
+        "section compatible with `python -m benchmarks.emit --baseline`) "
+        "to PATH",
     )
     probe.add_argument(
         "--profile",

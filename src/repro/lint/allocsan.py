@@ -1,0 +1,258 @@
+"""AllocSan — runtime allocation-budget sanitizer for campaign hot paths.
+
+The static PERF101–103 rules prove the *shape* of the hot region's
+allocation behaviour (no per-iteration temporaries, no superlinear
+accumulators); AllocSan is their dynamic counterpart.  It subclasses
+:class:`repro.obs.profiler.WallProfiler` — the campaign already threads
+a profiler through every phase — and accounts interpreter allocations
+around the hot phases:
+
+* ``tracemalloc`` traced bytes: net Python-level memory retained across
+  the phase, plus the peak transient footprint above the phase's start.
+* ``sys.getallocatedblocks()``: net allocator blocks (objects) retained,
+  which catches object churn that byte counts round away.
+
+Because it *is* a ``WallProfiler``, the campaign needs zero changes:
+pass an :class:`AllocSanProfiler` through the existing ``profiler=``
+parameter and the ``campaign.run`` phase (and its ``emit.craft``
+aggregate, which counts crafted blocks) lands here automatically.
+
+The per-run numbers normalize into two **budgets**:
+
+* ``allocsan.bytes_per_probe`` — net traced bytes of the hot phases
+  divided by probes sent.  Every probe legitimately retains its record;
+  the budget bounds how much *extra* garbage a probe may leave behind.
+* ``allocsan.blocks_per_batch`` — net allocator blocks divided by
+  crafted blocks (``emit.craft`` count; falls back to
+  ``probes / DEFAULT_BATCH`` on the per-event path).
+
+Budgets land in a ``tracked`` section shaped exactly like
+``benchmarks/emit.py`` payloads (``direction: "lower"`` — growth is a
+regression), so CI can gate a fresh report against the previous run with
+``python -m benchmarks.emit REPORT.json --baseline BASELINE.json``, and
+:func:`check_budgets` enforces the absolute ceilings locally.
+
+Accounting is observe-only: the ``.yrp6`` bytes of an AllocSan run are
+byte-identical to an unsanitized run (tracemalloc never perturbs the
+simulation, only the interpreter's allocator bookkeeping).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+from ..obs.profiler import WallProfiler
+
+#: Phases whose allocations are accounted.  ``campaign.run`` is the
+#: engine drain — everything the PERF rules call "hot" executes inside.
+HOT_PHASES = frozenset({"campaign.run"})
+
+#: Fallback batch size for normalizing block counts when the campaign
+#: ran the per-event reference path (no ``emit.craft`` aggregate) —
+#: mirrors :data:`repro.prober.campaign.DEFAULT_BATCH`.
+DEFAULT_BATCH = 256
+
+#: Absolute ceilings enforced by :func:`check_budgets`.  Measured on the
+#: CI smoke campaign (848 probes over 4 crafted blocks: ~457 bytes per
+#: probe retained, ~1.7k blocks per crafted block) and set with ~2x
+#: headroom so interpreter-version jitter never trips them while a
+#: reintroduced per-iteration allocation (hundreds of bytes per probe)
+#: still does.
+DEFAULT_BUDGETS: Dict[str, float] = {
+    "allocsan.bytes_per_probe": 900.0,
+    "allocsan.blocks_per_batch": 3000.0,
+}
+
+#: Allowed fractional drift for the --baseline comparison; looser than
+#: benchmarks' wall-clock default because allocator numbers move with
+#: the interpreter's minor version.
+TRACK_THRESHOLD = 0.5
+
+
+class AllocSample:
+    """Allocation deltas across one closed hot phase."""
+
+    __slots__ = ("phase", "traced_bytes", "peak_bytes", "blocks")
+
+    def __init__(
+        self, phase: str, traced_bytes: int, peak_bytes: int, blocks: int
+    ) -> None:
+        self.phase = phase
+        #: Net tracemalloc bytes retained across the phase.
+        self.traced_bytes = traced_bytes
+        #: Peak tracemalloc bytes above the phase's starting size.
+        self.peak_bytes = peak_bytes
+        #: Net allocator blocks (roughly: live objects) retained.
+        self.blocks = blocks
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "traced_bytes": self.traced_bytes,
+            "peak_bytes": self.peak_bytes,
+            "blocks": self.blocks,
+        }
+
+
+class AllocSanProfiler(WallProfiler):
+    """A :class:`WallProfiler` that books allocation deltas around hot
+    phases.
+
+    Use as a context manager so tracemalloc is started and stopped
+    around the campaign (an already-tracing interpreter is left alone)::
+
+        with AllocSanProfiler() as prof:
+            result = run_yarrp6(..., profiler=prof)
+        report = build_report(prof, result)
+    """
+
+    hot_phases = HOT_PHASES
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: span index -> (traced bytes, allocated blocks) at phase open.
+        self._alloc_open: Dict[int, "tuple[int, int]"] = {}
+        self.samples: List[AllocSample] = []
+        self._owns_tracing = False
+
+    # -- tracemalloc lifecycle -------------------------------------------
+    def start(self) -> None:
+        """Begin tracing unless some outer scope already is."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracing = True
+
+    def stop(self) -> None:
+        if self._owns_tracing:
+            tracemalloc.stop()
+            self._owns_tracing = False
+
+    def __enter__(self) -> "AllocSanProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- phase hooks ------------------------------------------------------
+    def phase(self, name: str, **attrs: Any) -> Any:
+        index = len(self.spans)
+        handle = super().phase(name, **attrs)
+        if name in self.hot_phases and tracemalloc.is_tracing():
+            # One hot phase open at a time in practice, so resetting the
+            # global peak here scopes peak_bytes to this phase.
+            tracemalloc.reset_peak()
+            self._alloc_open[index] = (
+                tracemalloc.get_traced_memory()[0],
+                sys.getallocatedblocks(),
+            )
+        return handle
+
+    def _close(self, index: int) -> None:
+        super()._close(index)
+        opened = self._alloc_open.pop(index, None)
+        if opened is not None and tracemalloc.is_tracing():
+            traced_start, blocks_start = opened
+            current, peak = tracemalloc.get_traced_memory()
+            self.samples.append(
+                AllocSample(
+                    self.spans[index].name,
+                    current - traced_start,
+                    max(0, peak - traced_start),
+                    sys.getallocatedblocks() - blocks_start,
+                )
+            )
+
+    # -- readout ----------------------------------------------------------
+    def agg_count(self, name: str) -> int:
+        """Total interval count across every aggregate named ``name``
+        (``emit.craft`` counts crafted blocks on the batched path)."""
+        return sum(
+            int(entry[0])
+            for (_, agg_name), entry in self._aggs.items()
+            if agg_name == name
+        )
+
+
+def _tracked(value: float) -> Dict[str, Any]:
+    """One ``tracked`` entry in the ``benchmarks/emit.py`` shape:
+    ``direction: "lower"`` makes growth a regression under
+    ``python -m benchmarks.emit REPORT --baseline BASELINE``."""
+    return {
+        "value": float(value),
+        "direction": "lower",
+        "threshold": TRACK_THRESHOLD,
+    }
+
+
+def build_report(
+    profiler: AllocSanProfiler, result: Any
+) -> Dict[str, Any]:
+    """Normalize a sanitized campaign into the budget report payload.
+
+    ``result`` is any campaign result with a ``sent`` probe count.  The
+    report carries the raw samples, the normalized budget values, and a
+    ``tracked`` section compatible with the benchmark baseline gate.
+    """
+    probes = int(getattr(result, "sent", 0) or 0)
+    batches = profiler.agg_count("emit.craft")
+    if batches <= 0:
+        # Per-event path: normalize against the batch size the columnar
+        # path would have used, so the two paths share one budget scale.
+        batches = max(1, (probes + DEFAULT_BATCH - 1) // DEFAULT_BATCH)
+    traced = sum(sample.traced_bytes for sample in profiler.samples)
+    blocks = sum(sample.blocks for sample in profiler.samples)
+    peak = max(
+        (sample.peak_bytes for sample in profiler.samples), default=0
+    )
+    bytes_per_probe = traced / probes if probes else 0.0
+    blocks_per_batch = blocks / batches
+    return {
+        "sanitizer": "allocsan",
+        "probes": probes,
+        "batches": batches,
+        "hot_phases": sorted({sample.phase for sample in profiler.samples}),
+        "samples": [sample.to_json() for sample in profiler.samples],
+        "traced_bytes": traced,
+        "peak_bytes": peak,
+        "allocated_blocks": blocks,
+        "budgets": dict(DEFAULT_BUDGETS),
+        "tracked": {
+            "allocsan.bytes_per_probe": _tracked(bytes_per_probe),
+            "allocsan.blocks_per_batch": _tracked(blocks_per_batch),
+        },
+    }
+
+
+def check_budgets(
+    report: Dict[str, Any], budgets: Optional[Dict[str, float]] = None
+) -> List[str]:
+    """Budget violations for a :func:`build_report` payload; empty means
+    the run fits.  Budgets are absolute ceilings on the tracked values
+    (the relative drift gate is ``benchmarks.emit --baseline``)."""
+    limits = DEFAULT_BUDGETS if budgets is None else budgets
+    tracked = report.get("tracked", {})
+    failures: List[str] = []
+    for name in sorted(limits):
+        entry = tracked.get(name)
+        if entry is None:
+            failures.append("%s: budgeted but missing from report" % name)
+            continue
+        value = float(entry["value"])
+        ceiling = float(limits[name])
+        if value > ceiling:
+            failures.append(
+                "%s: %.1f exceeds budget %.1f" % (name, value, ceiling)
+            )
+    return failures
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    """Write the report canonically (sorted keys) so successive runs
+    diff cleanly, mirroring ``benchmarks.emit.emit_json``."""
+    with open(path, "w") as sink:
+        json.dump(report, sink, sort_keys=True, separators=(",", ": "), indent=1)
+        sink.write("\n")

@@ -1,0 +1,47 @@
+"""Pytest plugin wiring AllocSan into the test suite.
+
+Registered from the repository-root ``conftest.py``.  Opt in with::
+
+    pytest --allocsan
+
+Tests marked ``@pytest.mark.allocsan`` run real campaigns under
+:class:`repro.lint.allocsan.AllocSanProfiler` and assert the allocation
+budgets (bytes per probe, blocks per batch) hold.  They are skipped by
+default because tracemalloc slows the interpreter severalfold; CI runs
+them in a dedicated step alongside the ``probe --allocsan`` smoke
+campaign.  The fast unit tests of the accounting machinery live
+unmarked in ``tests/lint/test_allocsan.py`` and always run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--allocsan",
+        action="store_true",
+        default=False,
+        help="run the AllocSan budget tests (campaigns under tracemalloc; "
+        "slow — CI runs these beside the --allocsan smoke campaign)",
+    )
+
+
+def pytest_configure(config: "pytest.Config") -> None:
+    config.addinivalue_line(
+        "markers",
+        "allocsan: campaign allocation-budget test under tracemalloc; "
+        "runs only with --allocsan",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: "pytest.Config", items: "list[pytest.Item]"
+) -> None:
+    if config.getoption("--allocsan"):
+        return
+    skip = pytest.mark.skip(reason="needs --allocsan (budget suite)")
+    for item in items:
+        if item.get_closest_marker("allocsan") is not None:
+            item.add_marker(skip)

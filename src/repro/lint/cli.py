@@ -7,6 +7,7 @@ Usage::
     repro-lint --format sarif src/ > lint.sarif
     repro-lint --select DET101,RNG101 src/repro
     repro-lint --cache .lint-cache.json src/   # warm-start the analysis
+    repro-lint --changed src/                  # only files dirty vs git HEAD
     repro-lint --exclude tests/lint/fixtures tests/ benchmarks/
     repro-lint --list-checkers
 
@@ -28,8 +29,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-from typing import Dict, List, Optional, Sequence, TextIO
+from typing import Dict, List, Optional, Sequence, Set, TextIO
 
 from . import program as program_mod
 from .core import (
@@ -75,9 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
         "whose fixtures are deliberate violations",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed versus git HEAD (tracked "
+        "modifications plus untracked files) under the given paths — "
+        "fast pre-commit runs; falls back to the full file set when git "
+        "is unavailable or this is not a work tree",
+    )
+    parser.add_argument(
         "--no-program",
         action="store_true",
-        help="skip the whole-program pass (DET101/RNG101/OBS101/MUT10x)",
+        help="skip the whole-program pass (DET101/RNG101/OBS101/MUT10x/PERF10x)",
     )
     parser.add_argument(
         "--cache",
@@ -115,6 +126,46 @@ def excluded(path: str, prefixes: Sequence[str]) -> bool:
         if norm == cut or norm.startswith(cut + "/"):
             return True
     return False
+
+
+def _git_lines(command: List[str]) -> Optional[List[str]]:
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, check=False
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_file_set() -> Optional[Set[str]]:
+    """Absolute paths of files changed versus git HEAD, or None when
+    git is unavailable / the cwd is not inside a work tree.
+
+    "Changed" is the pre-commit notion: tracked files with staged or
+    unstaged modifications (``git diff --name-only HEAD``) plus
+    untracked files that are not ignored (``git ls-files --others
+    --exclude-standard``).
+    """
+    toplevel = _git_lines(["git", "rev-parse", "--show-toplevel"])
+    if not toplevel:
+        return None
+    root = toplevel[0]
+    changed: Set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        lines = _git_lines(command)
+        if lines is None:
+            return None
+        changed.update(
+            os.path.normcase(os.path.abspath(os.path.join(root, line)))
+            for line in lines
+        )
+    return changed
 
 
 def render_text(violations: Sequence[Violation], out: TextIO) -> None:
@@ -203,10 +254,23 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
         and (select is None or bool(set(select) & set(program_mod.PROGRAM_RULES)))
     )
 
+    changed: Optional[Set[str]] = None
+    if args.changed:
+        changed = changed_file_set()
+        if changed is None:
+            sys.stderr.write(
+                "repro-lint: --changed needs git and a work tree; "
+                "linting the full file set\n"
+            )
+
     states: List[FileLint] = []
     try:
         for file_path in iter_python_files(args.paths):
             if excluded(file_path, args.exclude):
+                continue
+            if changed is not None and (
+                os.path.normcase(os.path.abspath(file_path)) not in changed
+            ):
                 continue
             with open(file_path, "r", encoding="utf-8") as handle:
                 source = handle.read()

@@ -20,7 +20,15 @@ graphs (:mod:`.graph`), and runs the interprocedural rules on them:
   ``Internet.fresh_run_state`` must cover each other exactly
   (:mod:`.mut102`);
 * **MUT103** — pickle-boundary immutability: no writes through the
-  ``CampaignSpec`` handed to workers (:mod:`.mut103`).
+  ``CampaignSpec`` handed to workers (:mod:`.mut103`);
+* **PERF101** — no per-iteration allocation in hot regions (functions
+  reachable from a ``# repro-lint: hot-loop`` root) (:mod:`.perf101`);
+* **PERF102** — no superlinear accumulation (``+=`` concatenation,
+  ``insert(0)``, list membership, in-loop sorts) in hot regions
+  (:mod:`.perf102`);
+* **PERF103** — no numpy↔Python scalar churn (``.item()`` loops,
+  element-wise indexing, ``np.append``) in hot regions
+  (:mod:`.perf103`).
 
 Entry points: :func:`analyze` for an in-memory file set (the CLI driver
 shares its per-file :class:`~repro.lint.core.Suppressions` objects so
@@ -40,10 +48,21 @@ from ..core import (
     iter_python_files,
     violation_sort_key,
 )
-from . import det101, mut101, mut102, mut103, obs101, rng101
+from . import (
+    det101,
+    mut101,
+    mut102,
+    mut103,
+    obs101,
+    perf101,
+    perf102,
+    perf103,
+    rng101,
+)
 from .cache import FactsCache
 from .facts import FACTS_VERSION, FileFacts, extract_facts  # noqa: F401  (re-export)
 from .graph import DEFAULT_ROOTS, ProgramGraph, build_graph  # noqa: F401
+from .perf import DEFAULT_HOT_ROOTS  # noqa: F401  (re-export)
 
 #: rule id -> one-line description, mirrored into ``--list-checkers``.
 PROGRAM_RULES: Dict[str, str] = {
@@ -53,6 +72,9 @@ PROGRAM_RULES: Dict[str, str] = {
     mut101.RULE: mut101.DESCRIPTION,
     mut102.RULE: mut102.DESCRIPTION,
     mut103.RULE: mut103.DESCRIPTION,
+    perf101.RULE: perf101.DESCRIPTION,
+    perf102.RULE: perf102.DESCRIPTION,
+    perf103.RULE: perf103.DESCRIPTION,
 }
 
 
@@ -122,7 +144,7 @@ def run_rules(
         for path, facts in program.facts.items():
             if obs101.in_scope(facts.module):
                 program.ran_rules[path].add(obs101.RULE)
-    for module in (mut101, mut102, mut103):
+    for module in (mut101, mut102, mut103, perf101, perf102, perf103):
         if module.RULE in chosen:
             raw.extend(module.check(program.graph, program.facts))
             for path in suppressions:

@@ -18,13 +18,34 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from typing import Any, Dict, Optional
 
-from . import det101, mut101, mut102, mut103, obs101, rng101
+from . import (
+    det101,
+    mut101,
+    mut102,
+    mut103,
+    obs101,
+    perf101,
+    perf102,
+    perf103,
+    rng101,
+)
 from .facts import FACTS_VERSION, FileFacts, extract_facts
 
 #: Every whole-program checker whose logic version invalidates the cache.
-_CHECKERS = (det101, rng101, obs101, mut101, mut102, mut103)
+_CHECKERS = (
+    det101,
+    rng101,
+    obs101,
+    mut101,
+    mut102,
+    mut103,
+    perf101,
+    perf102,
+    perf103,
+)
 
 
 def checker_token() -> str:
@@ -39,6 +60,19 @@ def checker_token() -> str:
     return ",".join(
         "%s=%d" % (module.RULE, module.VERSION) for module in _CHECKERS
     )
+
+
+def interpreter_token() -> str:
+    """The Python feature version the cache was written under.
+
+    ``ast.parse`` output is version-dependent (new node types, changed
+    ``lineno`` conventions), so facts extracted under 3.9 are not
+    trustworthy under 3.12 even for byte-identical sources.  Without
+    this key a cache file shared across interpreters — a CI cache
+    restored into a different matrix leg, a local venv switch — would
+    be silently trusted.
+    """
+    return "%d.%d" % sys.version_info[:2]
 
 
 def content_hash(source: str) -> str:
@@ -66,6 +100,8 @@ class FactsCache:
             return
         if payload.get("checkers") != checker_token():
             return  # a rule's logic changed; every cached fact is suspect
+        if payload.get("python") != interpreter_token():
+            return  # written under a different interpreter's AST
         files = payload.get("files")
         if isinstance(files, dict):
             self.entries = files
@@ -94,6 +130,7 @@ class FactsCache:
         payload = {
             "version": FACTS_VERSION,
             "checkers": checker_token(),
+            "python": interpreter_token(),
             "files": self.entries,
         }
         tmp_path = self.cache_path + ".tmp"

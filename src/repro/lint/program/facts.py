@@ -59,16 +59,19 @@ from ..checkers.det001 import (
     WALLCLOCK_EXEMPT_MODULES,
 )
 from ..checkers.det003 import BOUNDARY_CLASSES
-from . import mutation
+from . import mutation, perf
 
 #: Bump whenever the fact schema or extraction logic changes; stale
 #: cache entries are discarded on version mismatch.
-FACTS_VERSION = 4
+FACTS_VERSION = 5
 
 #: ``# repro-lint: program-root`` on a ``def`` line marks the function
 #: as a DET101 reachability root (an entry point the engine or the
 #: parallel runner calls into).
 PROGRAM_ROOT_MARK = re.compile(r"#\s*repro-lint:\s*program-root\b")
+
+#: ``# repro-lint: hot-loop`` marks a PERF hot root (see :mod:`.perf`).
+HOT_ROOT_MARK = perf.HOT_ROOT_MARK
 
 #: Names/attributes that look like seed material for RNG101.
 _SEEDLIKE = re.compile(r"(seed|key)", re.IGNORECASE)
@@ -152,6 +155,7 @@ class FunctionFact:
     line: int
     method: bool  # defined directly inside a class body
     root: bool  # marked `# repro-lint: program-root`
+    hot: bool = False  # marked `# repro-lint: hot-loop` (PERF hot root)
     params: List[str] = field(default_factory=list)
     #: (resolved target, line) of direct DET001-banned calls.
     banned: List[Tuple[str, int]] = field(default_factory=list)
@@ -165,6 +169,8 @@ class FunctionFact:
     stores: List[Dict[str, Any]] = field(default_factory=list)
     #: single-assigned local -> the pure attribute chain it aliases.
     aliases: Dict[str, str] = field(default_factory=dict)
+    #: perf sites: {"rule", "kind", "line", "loop", "detail"} (see :mod:`.perf`).
+    perf: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -172,6 +178,7 @@ class FunctionFact:
             "line": self.line,
             "method": self.method,
             "root": self.root,
+            "hot": self.hot,
             "params": list(self.params),
             "banned": [list(item) for item in self.banned],
             "calls": self.calls,
@@ -179,6 +186,7 @@ class FunctionFact:
             "rng_sites": self.rng_sites,
             "stores": self.stores,
             "aliases": self.aliases,
+            "perf": self.perf,
         }
 
     @classmethod
@@ -188,6 +196,7 @@ class FunctionFact:
             line=data["line"],
             method=data["method"],
             root=data["root"],
+            hot=data.get("hot", False),
             params=list(data["params"]),
             banned=[(item[0], item[1]) for item in data["banned"]],
             calls=list(data["calls"]),
@@ -195,6 +204,7 @@ class FunctionFact:
             rng_sites=list(data["rng_sites"]),
             stores=list(data.get("stores", [])),
             aliases=dict(data.get("aliases", {})),
+            perf=list(data.get("perf", [])),
         )
 
 
@@ -303,11 +313,17 @@ def _param_names(node: ast.AST) -> List[str]:
 
 
 def _is_root(node: ast.AST, lines: List[str]) -> bool:
+    return _marked(node, lines, PROGRAM_ROOT_MARK)
+
+
+def _is_hot(node: ast.AST, lines: List[str]) -> bool:
+    return _marked(node, lines, HOT_ROOT_MARK)
+
+
+def _marked(node: ast.AST, lines: List[str], mark: "re.Pattern[str]") -> bool:
     lineno = getattr(node, "lineno", 0)
     for candidate in (lineno, lineno - 1):
-        if 1 <= candidate <= len(lines) and PROGRAM_ROOT_MARK.search(
-            lines[candidate - 1]
-        ):
+        if 1 <= candidate <= len(lines) and mark.search(lines[candidate - 1]):
             return True
     return False
 
@@ -344,6 +360,7 @@ def _function_fact(
         line=getattr(scope, "lineno", 1),
         method=in_class,
         root=_is_root(scope, lines),
+        hot=_is_hot(scope, lines),
         params=_param_names(scope),
     )
     env = _single_assignments(scope)
@@ -372,6 +389,7 @@ def _function_fact(
     fact.banned.sort(key=lambda item: (item[1], item[0]))
     fact.stores = mutation.store_facts(_own_nodes(scope))
     fact.aliases = mutation.alias_facts(env)
+    fact.perf = perf.perf_sites(scope, origins)
     return fact
 
 

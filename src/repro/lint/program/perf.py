@@ -1,0 +1,372 @@
+"""Per-function performance-site extraction and hot-region machinery.
+
+The PerfSan half of the whole-program analysis mirrors the mutation
+layer: every function is distilled at fact-extraction time into a list
+of **perf sites** — allocation expressions, superlinear accumulation
+patterns, and numpy↔Python scalar churn — each tagged with whether it
+sits inside a syntactic loop.  The PERF rules then intersect those
+sites with the **hot region**: every function reachable (build cut
+applied — constructing a world or a template is setup, not steady
+state) from a hot root.
+
+Hot roots come from two places, mirroring ``program-root``:
+
+* ``# repro-lint: hot-loop`` on (or immediately above) a ``def`` line —
+  the function *is the body of* a per-probe/per-batch loop, so its own
+  straight-line code counts as per-iteration context even outside a
+  syntactic ``for``/``while``;
+* :data:`DEFAULT_HOT_ROOTS`, the known hot paths of the prober: the
+  ``run_campaign`` batch loop, ``Engine.run_batch``, the keyed
+  permutation, template encoding, and the receive/deliver path.
+
+Each perf site is a plain dict (JSON-cacheable alongside the rest of
+:class:`~repro.lint.program.facts.FileFacts`)::
+
+    {"rule": "PERF101", "kind": "comprehension", "line": 17,
+     "loop": true, "detail": "a throwaway list comprehension"}
+
+``loop`` records syntactic loop context only; whether a non-loop site
+counts as per-iteration (hot-root bodies do) is decided at rule time so
+the facts stay a pure function of the file's bytes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..checkers.common import dotted_name, resolve_call_target
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a facts -> perf -> graph cycle
+    from . import escape
+    from .graph import ProgramGraph
+
+#: ``# repro-lint: hot-loop`` on a ``def`` line marks the function as a
+#: PERF hot root: it is the body of a per-probe or per-batch loop, so
+#: allocations in its straight-line code happen once per iteration.
+HOT_ROOT_MARK = re.compile(r"#\s*repro-lint:\s*hot-loop\b")
+
+#: The prober's known hot paths (full dotted node names), used even
+#: without a source marker so the rules guard third-party-style trees.
+DEFAULT_HOT_ROOTS: FrozenSet[str] = frozenset(
+    {
+        "repro.prober.campaign.run_campaign.block_tick",
+        "repro.prober.campaign.run_campaign.deliver_batched",
+        "repro.netsim.engine.Engine.run_batch",
+        "repro.prober.permutation.KeyedPermutation.images",
+        "repro.prober.permutation.KeyedPermutation.images_scalar",
+        "repro.prober.encoding.ProbeTemplate.encode_into",
+        "repro.prober.encoding.encode_probe_into",
+        "repro.prober.yarrp6.Yarrp6.next_probes",
+        "repro.prober.yarrp6.Yarrp6.receive",
+    }
+)
+
+#: Class-looking callable (CapWords, not an ALL_CAPS constant).
+_CLASS_NAME = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+#: Exception-looking class names — constructing one sits on the raise
+#: path, which is not steady-state allocation.
+_EXCEPTION_NAME = re.compile(r"(Error|Exception|Warning)$")
+
+
+# ---------------------------------------------------------------------------
+# hot-region computation (rule-time half)
+
+
+def hot_roots(graph: "ProgramGraph") -> Set[str]:
+    """Marked ``hot-loop`` functions plus the default hot paths that
+    exist in this program."""
+    roots = {
+        full
+        for full, (fact, _, _) in graph.nodes.items()
+        if getattr(fact, "hot", False)
+    }
+    roots.update(full for full in DEFAULT_HOT_ROOTS if full in graph.nodes)
+    return roots
+
+
+def hot_region(
+    graph: "ProgramGraph",
+) -> Tuple[Set[str], Dict[str, "escape.Reach"]]:
+    """(hot roots, reachable functions) with the build cut applied."""
+    from . import escape as escape_mod
+
+    roots = hot_roots(graph)
+    return roots, escape_mod.reachable_from(graph, roots)
+
+
+# ---------------------------------------------------------------------------
+# per-function site extraction (fact-time half)
+
+
+def perf_sites(scope: ast.AST, origins: Dict[str, str]) -> List[Dict[str, Any]]:
+    """Distill one function scope into perf sites (pure function of the
+    AST — cacheable)."""
+    sites: List[Dict[str, Any]] = []
+    seq_kinds = _seq_inits(scope)
+    numpy_names = _numpy_locals(scope, origins)
+
+    def record(
+        rule: str, kind: str, node: ast.AST, loop: bool, detail: str
+    ) -> None:
+        sites.append(
+            {
+                "rule": rule,
+                "kind": kind,
+                "line": getattr(node, "lineno", 1),
+                "loop": loop,
+                "detail": detail,
+            }
+        )
+
+    def visit(
+        node: ast.AST, in_loop: bool, in_raise: bool, loop_vars: Set[str]
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        _classify(node, in_loop, in_raise, loop_vars)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            # The iterable is evaluated once per loop *entry*; only the
+            # body (and the per-iteration target unpack) runs per turn.
+            visit(node.iter, in_loop, in_raise, loop_vars)
+            inner_vars = loop_vars | _target_names(node.target)
+            visit(node.target, True, in_raise, inner_vars)
+            for child in node.body + node.orelse:
+                visit(child, True, in_raise, inner_vars)
+        elif isinstance(node, ast.While):
+            visit(node.test, True, in_raise, loop_vars)
+            for child in node.body + node.orelse:
+                visit(child, True, in_raise, loop_vars)
+        elif isinstance(node, ast.Raise):
+            for child in ast.iter_child_nodes(node):
+                visit(child, in_loop, True, loop_vars)
+        else:
+            for child in ast.iter_child_nodes(node):
+                visit(child, in_loop, in_raise, loop_vars)
+
+    def _classify(
+        node: ast.AST, in_loop: bool, in_raise: bool, loop_vars: Set[str]
+    ) -> None:
+        # --- PERF101: per-iteration allocation -------------------------
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            label = {
+                ast.ListComp: "list comprehension",
+                ast.SetComp: "set comprehension",
+                ast.DictComp: "dict comprehension",
+            }[type(node)]
+            record(
+                "PERF101", "comprehension", node, in_loop,
+                "a throwaway %s" % label,
+            )
+        elif isinstance(node, (ast.List, ast.Set)) and node.elts:
+            label = "list" if isinstance(node, ast.List) else "set"
+            record(
+                "PERF101", "display", node, in_loop,
+                "a fresh non-empty %s literal" % label,
+            )
+        elif isinstance(node, ast.Dict) and node.keys:
+            record(
+                "PERF101", "display", node, in_loop,
+                "a fresh non-empty dict literal",
+            )
+        if isinstance(node, ast.Call):
+            target = resolve_call_target(node.func, origins)
+            raw = dotted_name(node.func) or ""
+            last = (target or raw).rsplit(".", 1)[-1]
+            if target == "struct.pack":
+                record(
+                    "PERF101", "struct-pack", node, in_loop,
+                    "packed bytes via struct.pack (patch a prebuilt "
+                    "template buffer instead, like ProbeTemplate."
+                    "encode_into)",
+                )
+            elif (
+                not in_raise
+                and _CLASS_NAME.match(last)
+                and not last.isupper()
+                and not _EXCEPTION_NAME.search(last)
+            ):
+                record(
+                    "PERF101", "construction", node, in_loop,
+                    "a new %s object" % last,
+                )
+            # --- PERF102: superlinear accumulation ---------------------
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "insert"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+            ):
+                receiver = dotted_name(node.func.value) or "<expr>"
+                record(
+                    "PERF102", "insert-front", node, in_loop,
+                    "'%s.insert(0, ...)' shifts the whole list each call "
+                    "(use collections.deque.appendleft)" % receiver,
+                )
+            if target == "sorted" or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+            ):
+                record(
+                    "PERF102", "sort-in-loop", node, in_loop,
+                    "a full re-sort per iteration (sort once outside the "
+                    "loop, or keep a heap)",
+                )
+            # --- PERF103: numpy <-> Python scalar churn ----------------
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "item":
+                record(
+                    "PERF103", "scalar-item", node, in_loop,
+                    "'.item()' unboxing one numpy scalar at a time "
+                    "(vectorize across the array)",
+                )
+            if target == "numpy.append":
+                record(
+                    "PERF103", "np-append", node, in_loop,
+                    "'np.append' copies the whole array each call "
+                    "(preallocate, or collect then convert once)",
+                )
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            if isinstance(node.target, ast.Name):
+                kinds = seq_kinds.get(node.target.id, set())
+                for seq in ("bytes", "str"):
+                    if seq in kinds:
+                        record(
+                            "PERF102", "seq-concat", node, in_loop,
+                            "'%s' grows by %s += concatenation (quadratic; "
+                            "collect parts and join once)"
+                            % (node.target.id, seq),
+                        )
+                        break
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            for comparator in node.comparators:
+                if (
+                    isinstance(comparator, ast.Name)
+                    and "list" in seq_kinds.get(comparator.id, set())
+                ):
+                    record(
+                        "PERF102", "list-membership", node, in_loop,
+                        "a membership test against list '%s' (linear scan "
+                        "per check; use a set)" % comparator.id,
+                    )
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.iter, ast.Name) and node.iter.id in numpy_names:
+                record(
+                    "PERF103", "iterate-array", node, True,
+                    "a Python-level loop over array '%s' boxing one scalar "
+                    "per element (vectorize the loop body)" % node.iter.id,
+                )
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in numpy_names
+                and isinstance(index, ast.Name)
+                and index.id in loop_vars
+            ):
+                record(
+                    "PERF103", "scalar-index", node, in_loop,
+                    "element-wise indexing of array '%s' by a loop "
+                    "variable (vectorize the loop body)" % node.value.id,
+                )
+
+    for child in ast.iter_child_nodes(scope):
+        visit(child, False, False, set())
+    sites.sort(key=lambda site: (site["line"], site["rule"], site["kind"]))
+    return sites
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``scope`` itself — descends comprehensions/lambdas but
+    not nested def/class scopes (mirrors ``facts._own_nodes``)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _target_names(node: ast.AST) -> Set[str]:
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in node.elts:
+            names |= _target_names(element)
+        return names
+    return set()
+
+
+def _init_kind(value: ast.AST) -> Optional[str]:
+    if isinstance(value, ast.Constant):
+        if isinstance(value.value, str):
+            return "str"
+        if isinstance(value.value, bytes):
+            return "bytes"
+        return None
+    if isinstance(value, ast.JoinedStr):
+        return "str"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in ("str", "bytes", "bytearray", "list"):
+            return "bytes" if value.func.id == "bytearray" else value.func.id
+    return None
+
+
+def _seq_inits(scope: ast.AST) -> Dict[str, Set[str]]:
+    """local name -> sequence kinds it was ever initialized with."""
+    kinds: Dict[str, Set[str]] = {}
+    for node in _scope_nodes(scope):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        kind = _init_kind(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                kinds.setdefault(target.id, set()).add(kind)
+    return kinds
+
+
+def _numpy_locals(scope: ast.AST, origins: Dict[str, str]) -> Set[str]:
+    """Locals assigned from ``numpy.*`` calls (or from attribute calls
+    on an already-known array local — ``rounded = values.astype(...)``)."""
+    names: Set[str] = set()
+    for node in _scope_nodes(scope):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        target_path = resolve_call_target(call.func, origins)
+        from_numpy = target_path is not None and target_path.startswith("numpy.")
+        from_array = (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id in names
+        )
+        if not (from_numpy or from_array):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names

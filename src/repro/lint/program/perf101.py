@@ -1,0 +1,83 @@
+"""PERF101: no per-iteration allocation in hot regions.
+
+The columnar fast paths (PR 5) exist because the scalar hot path spent
+most of its time constructing throwaway Python objects — one tuple, one
+bytes, one packed header per probe.  This rule keeps the hot region
+allocation-free *statically*: every function reachable from a hot root
+(``# repro-lint: hot-loop`` or :data:`~repro.lint.program.perf.
+DEFAULT_HOT_ROOTS`, build cut applied) is scanned for allocation sites
+that execute once per iteration:
+
+* list/set/dict comprehensions and non-empty container literals inside
+  a loop — or anywhere in a hot *root's* body, since the root function
+  is itself the body of a per-probe/per-batch loop;
+* object construction (CapWords calls) in the same positions, excluding
+  the raise path;
+* ``struct.pack``, which allocates a fresh packed buffer per call where
+  a prebuilt :class:`~repro.prober.encoding.ProbeTemplate` patch exists.
+
+Findings are anchored at the allocation with the witness call chain
+from the hot root in the message.  Amortized or output-carrying
+allocations (the batch's result list, a per-response record) are the
+caller's call — suppress with ``# repro-lint: disable=PERF101`` and a
+written reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Violation
+from . import perf
+from .facts import FileFacts
+from .graph import ProgramGraph
+
+RULE = "PERF101"
+VERSION = 1
+DESCRIPTION = (
+    "whole-program: no per-iteration allocation (throwaway "
+    "comprehensions/literals, object construction, struct.pack) in "
+    "functions reachable from a # repro-lint: hot-loop root"
+)
+
+#: Site kinds (see :func:`repro.lint.program.perf.perf_sites`) this rule owns.
+KINDS = frozenset({"comprehension", "display", "construction", "struct-pack"})
+
+
+def check(
+    graph: ProgramGraph, facts: Dict[str, FileFacts]
+) -> List[Violation]:
+    from . import escape
+
+    roots, reached = perf.hot_region(graph)
+    violations: List[Violation] = []
+    for full in sorted(reached):
+        fact, _, path = graph.nodes[full]
+        is_root = full in roots
+        for site in fact.perf:
+            if site["rule"] != RULE or site["kind"] not in KINDS:
+                continue
+            if not (site["loop"] or is_root):
+                continue
+            chain = escape.witness_chain(graph, reached, full)
+            root = reached[full].root
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=path,
+                    line=site["line"],
+                    column=1,
+                    message=(
+                        "'%s' is in the hot region rooted at '%s' and "
+                        "allocates %s per iteration via %s — hoist it out "
+                        "of the hot loop or patch a reused buffer"
+                        % (
+                            graph.display(full),
+                            graph.display(root),
+                            site["detail"],
+                            " -> ".join(chain),
+                        )
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,78 @@
+"""PERF102: no superlinear accumulation in hot regions.
+
+A hot loop that does O(n) work per iteration turns an O(n) campaign
+into O(n²) — precisely the failure mode Yarrp's stateless design (and
+our columnar batch loop) exists to avoid.  This rule flags the classic
+accidentally-quadratic patterns inside the hot region (reachable from a
+``# repro-lint: hot-loop`` root, build cut applied):
+
+* ``bytes``/``str`` ``+=`` concatenation on a sequence-initialized
+  local (each ``+=`` copies everything accumulated so far);
+* ``list.insert(0, ...)`` (shifts the whole list per call);
+* membership tests against a list-initialized local (linear scan per
+  probe — use a set);
+* ``sorted()`` / ``.sort()`` inside a loop (full re-sort per turn).
+
+Sites count when they sit inside a syntactic loop, or anywhere in a hot
+*root's* body (the root function is itself the loop body).  Findings
+carry the witness call chain from the hot root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Violation
+from . import perf
+from .facts import FileFacts
+from .graph import ProgramGraph
+
+RULE = "PERF102"
+VERSION = 1
+DESCRIPTION = (
+    "whole-program: no superlinear accumulation (bytes/str +=, "
+    "list.insert(0), list membership tests, sorted() in loops) in "
+    "functions reachable from a # repro-lint: hot-loop root"
+)
+
+KINDS = frozenset(
+    {"seq-concat", "insert-front", "list-membership", "sort-in-loop"}
+)
+
+
+def check(
+    graph: ProgramGraph, facts: Dict[str, FileFacts]
+) -> List[Violation]:
+    from . import escape
+
+    roots, reached = perf.hot_region(graph)
+    violations: List[Violation] = []
+    for full in sorted(reached):
+        fact, _, path = graph.nodes[full]
+        is_root = full in roots
+        for site in fact.perf:
+            if site["rule"] != RULE or site["kind"] not in KINDS:
+                continue
+            if not (site["loop"] or is_root):
+                continue
+            chain = escape.witness_chain(graph, reached, full)
+            root = reached[full].root
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=path,
+                    line=site["line"],
+                    column=1,
+                    message=(
+                        "'%s' is in the hot region rooted at '%s' and "
+                        "accumulates superlinearly: %s via %s"
+                        % (
+                            graph.display(full),
+                            graph.display(root),
+                            site["detail"],
+                            " -> ".join(chain),
+                        )
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,82 @@
+"""PERF103: no numpy↔Python scalar churn in hot regions.
+
+The vectorized Feistel walk (``KeyedPermutation._images_vector``) pays
+for itself only while work stays inside numpy: every ``.item()`` call,
+element-wise index, or Python-level loop over an array crosses the
+boundary and boxes one scalar per element, usually erasing the win.
+``np.append`` is the allocation twin — it copies the whole array per
+call.  This rule flags the churn patterns inside the hot region
+(reachable from a ``# repro-lint: hot-loop`` root, build cut applied):
+
+* ``.item()`` calls inside a loop (or anywhere in a hot root's body);
+* element-wise indexing of an array local by a loop variable
+  (mask/fancy indexing like ``values[walking]`` is vectorized and
+  deliberately NOT flagged);
+* ``for x in arr:`` directly over an array local;
+* ``np.append`` inside a loop.
+
+Array locals are recognized by assignment from ``numpy.*`` calls (or
+attribute calls on an already-known array local).  Findings carry the
+witness call chain from the hot root.  The sanctioned exit from numpy
+is one bulk conversion per batch — ``values.tolist()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Violation
+from . import perf
+from .facts import FileFacts
+from .graph import ProgramGraph
+
+RULE = "PERF103"
+VERSION = 1
+DESCRIPTION = (
+    "whole-program: no numpy<->Python scalar churn (.item() loops, "
+    "element-wise indexing, np.append) in functions reachable from a "
+    "# repro-lint: hot-loop root"
+)
+
+KINDS = frozenset(
+    {"scalar-item", "scalar-index", "iterate-array", "np-append"}
+)
+
+
+def check(
+    graph: ProgramGraph, facts: Dict[str, FileFacts]
+) -> List[Violation]:
+    from . import escape
+
+    roots, reached = perf.hot_region(graph)
+    violations: List[Violation] = []
+    for full in sorted(reached):
+        fact, _, path = graph.nodes[full]
+        is_root = full in roots
+        for site in fact.perf:
+            if site["rule"] != RULE or site["kind"] not in KINDS:
+                continue
+            if not (site["loop"] or is_root):
+                continue
+            chain = escape.witness_chain(graph, reached, full)
+            root = reached[full].root
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=path,
+                    line=site["line"],
+                    column=1,
+                    message=(
+                        "'%s' is in the hot region rooted at '%s' and "
+                        "crosses the numpy<->Python scalar boundary: %s "
+                        "via %s"
+                        % (
+                            graph.display(full),
+                            graph.display(root),
+                            site["detail"],
+                            " -> ".join(chain),
+                        )
+                    ),
+                )
+            )
+    return violations

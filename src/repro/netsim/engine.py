@@ -144,6 +144,7 @@ class Engine:
             self._now = until
         return self._now
 
+    # repro-lint: hot-loop
     def run_batch(self) -> int:  # repro-lint: program-root
         """Fire every event sharing the earliest pending timestamp.
 

@@ -262,7 +262,7 @@ def run_campaign(  # repro-lint: program-root
                 count = quotient + (1 if rtt_us < interval else 0)
             return count if count < total_walk else total_walk
 
-        def deliver_batched(data: bytes, send_time: int) -> None:
+        def deliver_batched(data: bytes, send_time: int) -> None:  # repro-lint: hot-loop
             with prof_deliver:
                 now = engine.now
                 record = walker.receive(
@@ -270,11 +270,14 @@ def run_campaign(  # repro-lint: program-root
                 )
                 note_discovery(record)
 
-        def block_tick() -> None:
+        def block_tick() -> None:  # repro-lint: hot-loop
             start = engine.now
             count = min(batch, total_walk - walker.sent)
             with prof_craft:
-                times = [start + k * interval for k in range(count)]
+                # An arithmetic progression, not a materialized list:
+                # zero per-block allocation (PERF101) and next_probes
+                # only ever indexes it.  interval >= 1 (pps_interval).
+                times = range(start, start + count * interval, interval)
                 emissions = walker.next_probes(times)
             with prof_inject:
                 for when, packet in emissions:

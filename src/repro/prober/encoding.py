@@ -263,6 +263,7 @@ class ProbeTemplate:
         """A fresh mutable packet buffer initialized from the template."""
         return bytearray(self._template)
 
+    # repro-lint: hot-loop
     def encode_into(
         self, buffer: bytearray, target: int, ttl: int, elapsed: int
     ) -> None:
@@ -298,6 +299,7 @@ class ProbeTemplate:
         buffer[payload_at + 11] = fudge & 0xFF
 
 
+# repro-lint: hot-loop
 def encode_probe_into(
     template: ProbeTemplate,
     buffer: bytearray,

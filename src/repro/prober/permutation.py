@@ -86,7 +86,7 @@ class KeyedPermutation:
             value = self._encrypt(value)
         return value
 
-    def images(self, indices: Iterable[int]) -> List[int]:
+    def images(self, indices: Iterable[int]) -> List[int]:  # repro-lint: hot-loop
         """Batched ``[self[i] for i in indices]``.
 
         Contiguous/strided index ranges over domains that fit 64 bits are
@@ -143,7 +143,7 @@ class KeyedPermutation:
         result: List[int] = values.tolist()
         return result
 
-    def images_scalar(self, indices: Iterable[int]) -> List[int]:
+    def images_scalar(self, indices: Iterable[int]) -> List[int]:  # repro-lint: hot-loop
         """The pure-Python reference for :meth:`images`.
 
         The Feistel network is inlined with round keys, shift amounts and

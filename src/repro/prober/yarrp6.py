@@ -139,6 +139,7 @@ class Yarrp6:
         runner's columnar fast path)."""
         return not self.config.fill and self.config.neighborhood_ttl is None
 
+    # repro-lint: hot-loop
     def next_probes(self, times: Sequence[int]) -> List[Tuple[int, bytes]]:  # repro-lint: program-root
         """The batched pull loop: up to ``len(times)`` walk probes, the
         k-th crafted for virtual send time ``times[k]``.
@@ -162,6 +163,36 @@ class Yarrp6:
         count = min(len(times), total - self._cursor)
         if count <= 0:
             return []
+        template, buffer = self._ensure_template()
+        targets = self.targets
+        buffered = len(self._buffer)
+        if buffered < count:
+            # Top the prefetch deque up to a full block, then consume
+            # pairs straight off it below — no intermediate pairs list
+            # (PERF101), same (target, ttl) stream in the same order.
+            fetch = count - buffered
+            self._buffer.extend(self.schedule.block(self._fetched, fetch))
+            self._fetched += fetch
+        self._cursor += count
+        out: List[Tuple[int, bytes]] = []
+        append = out.append
+        popleft = self._buffer.popleft
+        encode_into = template.encode_into
+        for position in range(count):
+            target_index, ttl = popleft()
+            when = times[position]
+            encode_into(buffer, targets[target_index], ttl, when & 0xFFFFFFFF)
+            append((when, bytes(buffer)))
+        self.sent += count
+        self._m_sent.inc(count)
+        return out
+
+    def _ensure_template(self) -> Tuple[ProbeTemplate, bytearray]:
+        """The shared probe template + scratch buffer, built lazily.
+
+        One-time setup hoisted out of :meth:`next_probes` so the hot
+        block body stays allocation-free.
+        """
         if self._template is None:
             self._template = ProbeTemplate(
                 self.source,
@@ -169,30 +200,9 @@ class Yarrp6:
                 protocol=self.config.protocol,
             )
             self._template_buffer = self._template.new_buffer()
-        template = self._template
         buffer = self._template_buffer
         assert buffer is not None
-        targets = self.targets
-        buffered = len(self._buffer)
-        if buffered >= count:
-            pairs = [self._buffer.popleft() for _ in range(count)]
-        else:
-            pairs = list(self._buffer)
-            self._buffer.clear()
-            fetch = count - buffered
-            pairs.extend(self.schedule.block(self._fetched, fetch))
-            self._fetched += fetch
-        self._cursor += count
-        out: List[Tuple[int, bytes]] = []
-        append = out.append
-        encode_into = template.encode_into
-        for position, (target_index, ttl) in enumerate(pairs):
-            when = times[position]
-            encode_into(buffer, targets[target_index], ttl, when & 0xFFFFFFFF)
-            append((when, bytes(buffer)))
-        self.sent += count
-        self._m_sent.inc(count)
-        return out
+        return self._template, buffer
 
     def _encode(self, target: int, ttl: int, now: int) -> bytes:
         self.sent += 1
@@ -218,6 +228,7 @@ class Yarrp6:
         return now - last > self.config.neighborhood_window_us
 
     # -- reception -------------------------------------------------------
+    # repro-lint: hot-loop
     def receive(
         self, data: bytes, now: int, sent: Optional[int] = None
     ) -> Optional[ProbeRecord]:  # repro-lint: program-root

@@ -415,6 +415,84 @@ class TestProfile:
         assert "profiler phases" not in text
 
 
+class TestAllocSan:
+    def _pipeline(self, world_file, tmp_path):
+        seeds_path = str(tmp_path / "s")
+        run(["seeds", "--world", world_file, "--source", "caida", "--out", seeds_path])
+        targets_path = str(tmp_path / "t")
+        run(["targets", "--seeds", seeds_path, "--out", targets_path])
+        return targets_path
+
+    def test_probe_allocsan_clean_run_writes_report(self, world_file, tmp_path):
+        targets_path = self._pipeline(world_file, tmp_path)
+        results = str(tmp_path / "alloc.yrp6")
+        report_path = str(tmp_path / "allocsan.json")
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", results,
+                "--allocsan",
+                "--allocsan-report", report_path,
+            ]
+        )
+        assert code == 0, text
+        assert "allocsan: clean" in text
+        report = json.loads(open(report_path).read())
+        assert report["sanitizer"] == "allocsan"
+        assert set(report["tracked"]) == {
+            "allocsan.bytes_per_probe",
+            "allocsan.blocks_per_batch",
+        }
+        assert report["probes"] > 0
+        # Sanitizing is observe-only: the records match a plain run.
+        plain = str(tmp_path / "plain.yrp6")
+        run(["probe", "--world", world_file, "--targets", targets_path, "--out", plain])
+        assert open(results, "rb").read() == open(plain, "rb").read()
+
+    def test_probe_allocsan_blown_budget_fails(
+        self, world_file, tmp_path, monkeypatch
+    ):
+        from repro.lint import allocsan as allocsan_mod
+
+        monkeypatch.setattr(
+            allocsan_mod,
+            "DEFAULT_BUDGETS",
+            {"allocsan.bytes_per_probe": 0.0},
+        )
+        targets_path = self._pipeline(world_file, tmp_path)
+        code, text = run(
+            [
+                "probe",
+                "--world", world_file,
+                "--targets", targets_path,
+                "--out", str(tmp_path / "blown.yrp6"),
+                "--allocsan",
+            ]
+        )
+        assert code == 1, text
+        assert "exceeds budget" in text
+        assert "budget violation" in text
+
+    def test_probe_allocsan_conflicts(self, world_file, tmp_path):
+        targets_path = self._pipeline(world_file, tmp_path)
+        base = [
+            "probe",
+            "--world", world_file,
+            "--targets", targets_path,
+            "--out", str(tmp_path / "x.yrp6"),
+        ]
+        code, text = run(base + ["--allocsan", "--detsan"])
+        assert code == 2 and "mutually exclusive" in text
+        code, text = run(base + ["--allocsan", "--profile", str(tmp_path / "t.json")])
+        assert code == 2 and "mutually exclusive" in text
+        code, text = run(base + ["--allocsan", "--workers", "2"])
+        assert code == 2 and "--workers 1" in text
+        code, text = run(base + ["--allocsan-report", str(tmp_path / "r.json")])
+        assert code == 2 and "requires --allocsan" in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,53 @@
+"""PERF101 fixture: per-iteration allocation inside the hot region.
+
+``craft_block`` is a marked hot root, so its straight-line body counts
+as per-iteration context; ``encode`` is reachable from it, so only its
+in-loop allocations count.  ``cold_block`` repeats the same patterns
+without being reachable from any hot root and must stay silent.
+"""
+
+import struct
+
+
+# repro-lint: hot-loop
+def craft_block(targets, times):
+    staged = [stamp(target) for target in targets]
+    out = []
+    for index, when in enumerate(times):
+        header = {"seq": index, "when": when}
+        out.append(encode(staged[index], header, when))
+    return out
+
+
+def encode(staged, header, when):
+    scratch = None
+    for attempt in range(2):
+        scratch = Scratch(staged, attempt)
+        packed = struct.pack("!IHH", when, len(header), attempt)
+        scratch.absorb(packed)
+    if scratch is None:
+        raise ValueError("empty encode")
+    return scratch
+
+
+def stamp(target):
+    return target & 0xFFFF
+
+
+def cold_block(targets, times):
+    staged = [stamp(target) for target in targets]
+    out = []
+    for index, when in enumerate(times):
+        header = {"seq": index, "when": when}
+        out.append((header, staged[index]))
+    return out
+
+
+class Scratch:
+    def __init__(self, staged, attempt):
+        self.staged = staged
+        self.attempt = attempt
+        self.parts = []
+
+    def absorb(self, packed):
+        self.parts.append(packed)

@@ -1,0 +1,44 @@
+"""PERF102 fixture: superlinear accumulation inside the hot region.
+
+``drain`` is a marked hot root; every quadratic pattern sits inside its
+loop.  ``push`` is reachable but its ``+=`` is straight-line in a
+non-root function (amortized once per drain) and must stay silent, as
+must the unreachable ``cold_drain`` twin.
+"""
+
+
+# repro-lint: hot-loop
+def drain(batches):
+    log = ""
+    seen = []
+    recent = []
+    for batch in batches:
+        log += render(batch)
+        if batch in seen:
+            continue
+        recent.insert(0, batch)
+        ordered = sorted(recent)
+        push(ordered, seen)
+    return log
+
+
+def push(ordered, seen):
+    seen.extend(ordered)
+    tail = ""
+    tail += "flushed"
+    return tail
+
+
+def render(batch):
+    return "<%d>" % batch
+
+
+def cold_drain(batches):
+    log = ""
+    seen = []
+    for batch in batches:
+        log += render(batch)
+        if batch in seen:
+            continue
+        seen.insert(0, batch)
+    return log

@@ -1,0 +1,44 @@
+"""PERF103 fixture: numpy↔Python scalar churn inside the hot region.
+
+``fold`` is a marked hot root; ``collapse`` is reachable from it and
+assigns its own array local, so its element-wise loop counts.  Constant
+indexing (``squeezed[0]``) and mask indexing are vectorized idioms and
+must stay silent, as must the unreachable ``cold_fold`` twin.
+"""
+
+import numpy as np
+
+
+# repro-lint: hot-loop
+def fold(indices):
+    values = np.array(list(indices), dtype=np.uint64)
+    total = 0
+    for index in range(len(indices)):
+        total += int(values[index])
+    for value in values:
+        total += int(value)
+    while has_more(values, total):
+        values = np.append(values, total)
+    return collapse(values) + total
+
+
+def collapse(values):
+    squeezed = np.asarray(values)
+    first = int(squeezed[0])
+    total = first
+    for index in range(10):
+        element = squeezed[index]
+        total += element.item()
+    return total
+
+
+def has_more(values, total):
+    return bool(values.size < total)
+
+
+def cold_fold(indices):
+    values = np.array(list(indices), dtype=np.uint64)
+    total = 0
+    for index in range(len(indices)):
+        total += int(values[index])
+    return total

@@ -91,3 +91,59 @@ def test_exclude_normalizes_dot_and_trailing_slash():
     assert excluded("tests/lint/fixtures", ["tests/lint/fixtures"])
     # A prefix match is per path segment, not per character.
     assert not excluded("tests/lint/fixtures_extra/x.py", ["tests/lint/fixtures"])
+
+
+# -- --changed: git-diff-scoped file sets -----------------------------------
+
+
+def _init_repo(tmp_path):
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-c", "user.email=lint@test", "-c", "user.name=lint"]
+            + list(argv),
+            cwd=str(tmp_path),
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    return git
+
+
+def test_changed_limits_the_run_to_dirty_files(tmp_path, monkeypatch):
+    git = _init_repo(tmp_path)
+    clean = tmp_path / "clean.py"
+    clean.write_text("import time\n\n\ndef committed():\n    return time.time()\n")
+    touched = tmp_path / "touched.py"
+    touched.write_text("def fine():\n    return 1\n")
+    git("add", "clean.py", "touched.py")
+    git("commit", "-q", "-m", "seed")
+    # clean.py has a violation but is committed untouched; touched.py is
+    # modified and fresh.py is untracked — only those two are linted.
+    touched.write_text(
+        "import time\n\n\ndef dirty():\n    return time.time()\n"
+    )
+    (tmp_path / "fresh.py").write_text("import random\nrandom.random()\n")
+    monkeypatch.chdir(tmp_path)
+    code, output = run(["--changed", str(tmp_path)])
+    assert code == 1, output
+    assert "touched.py" in output
+    assert "fresh.py" in output
+    assert "clean.py" not in output
+    # Without --changed the committed violation is back in scope.
+    code, output = run([str(tmp_path)])
+    assert "clean.py" in output
+
+
+def test_changed_falls_back_to_full_run_outside_a_repo(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text(
+        "import time\n\n\ndef dirty():\n    return time.time()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-gitdir"))
+    code, output = run(["--changed", str(tmp_path)])
+    assert code == 1, output
+    assert "mod.py" in output
+    assert "linting the full file set" in capsys.readouterr().err

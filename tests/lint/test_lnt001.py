@@ -88,3 +88,80 @@ def test_lnt001_flags_unused_program_rule_suppression(tmp_path):
     assert code == 1, output
     assert "LNT001" in output
     assert "disable=DET101" in output
+
+
+PERF_HOT_SOURCE = (
+    "def spin(items):  # repro-lint: hot-loop\n"
+    "    out = []\n"
+    "    for item in items:\n"
+    "        out.append({'item': item})"
+)
+
+
+def test_lnt001_counts_perf_suppression_as_used(tmp_path):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        PERF_HOT_SOURCE + "  # repro-lint: disable=PERF101\n    return out\n"
+    )
+    code, output = run_cli(["--select", "PERF101,LNT001", str(tmp_path)])
+    assert code == 0, output
+    assert "LNT001" not in output
+    assert "PERF101" not in output
+
+
+def test_lnt001_flags_unused_perf_suppression(tmp_path):
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "cold.py").write_text(
+        "def harmless():\n"
+        "    return 1  # repro-lint: disable=PERF102\n"
+    )
+    code, output = run_cli(["--select", "PERF102,LNT001", str(tmp_path)])
+    assert code == 1, output
+    assert "LNT001" in output
+    assert "disable=PERF102" in output
+
+
+def test_multi_rule_disable_line_suppresses_both_perf_rules(tmp_path):
+    # One comment carrying two PERF rules: the dict allocation (PERF101)
+    # and the list membership test (PERF102) on the same line are both
+    # suppressed, and LNT001 counts the shared comment as used.
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        "def spin(items):  # repro-lint: hot-loop\n"
+        "    out = []\n"
+        "    seen = list((0,))\n"
+        "    for item in items:\n"
+        "        out.append({'ok': item in seen})"
+        "  # repro-lint: disable=PERF101,PERF102\n"
+        "    return out\n"
+    )
+    code, output = run_cli(
+        ["--select", "PERF101,PERF102,LNT001", str(tmp_path)]
+    )
+    assert code == 0, output
+    assert output.strip().endswith("0 violations found")
+
+
+def test_multi_rule_disable_line_only_covers_named_perf_rules(tmp_path):
+    # disable=PERF102,PERF103 does NOT cover the PERF101 allocation on
+    # the same line — and the PERF103 half is unused, so LNT001 fires.
+    tree = tmp_path / "repro"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        "def spin(items):  # repro-lint: hot-loop\n"
+        "    out = []\n"
+        "    seen = list((0,))\n"
+        "    for item in items:\n"
+        "        out.append({'ok': item in seen})"
+        "  # repro-lint: disable=PERF102,PERF103\n"
+        "    return out\n"
+    )
+    code, output = run_cli(
+        ["--select", "PERF101,PERF102,PERF103,LNT001", str(tmp_path)]
+    )
+    assert code == 1, output
+    assert "PERF101" in output
+    assert "LNT001" in output and "PERF103" in output

@@ -1,8 +1,10 @@
-"""Fixture self-tests for the whole-program rules (DET101/RNG101/OBS101),
-the facts cache, and the program-root marker comment."""
+"""Fixture self-tests for the whole-program rules (DET101/RNG101/OBS101,
+MUT101-103, and the PERF101-103 hot-path rules), the facts cache, and
+the program-root / hot-loop marker comments."""
 
 import os
 import shutil
+import sys
 
 from repro.lint.program import PROGRAM_RULES, lint_program_paths
 
@@ -306,6 +308,130 @@ def test_mut103_reads_of_the_spec_are_clean():
     assert not any(v.line >= 26 for v in violations)
 
 
+# -- PERF101: per-iteration allocation in hot regions -----------------------
+
+
+def test_perf101_flags_allocation_sites_at_exact_lines():
+    violations, _ = run_fixture("perf101", select=["PERF101"])
+    assert all(v.rule == "PERF101" for v in violations)
+    assert located(violations) == [
+        ("hot.py", 14),  # comprehension in the hot root's body
+        ("hot.py", 17),  # dict literal inside the loop
+        ("hot.py", 25),  # Scratch(...) construction in the callee's loop
+        ("hot.py", 26),  # struct.pack in the callee's loop
+    ]
+
+
+def test_perf101_messages_carry_witness_chains():
+    violations, _ = run_fixture("perf101", select=["PERF101"])
+    by_line = {v.line: v.message for v in violations}
+    # Root-body sites chain trivially to the root itself.
+    assert "rooted at 'hot.craft_block'" in by_line[14]
+    assert "via hot.craft_block " in by_line[14]
+    # Callee sites show the interprocedural chain from the hot root.
+    assert "via hot.craft_block -> hot.encode" in by_line[25]
+    assert "a new Scratch object" in by_line[25]
+    assert "struct.pack" in by_line[26]
+
+
+def test_perf101_cold_twin_and_empty_displays_are_silent():
+    violations, _ = run_fixture("perf101", select=["PERF101"])
+    # cold_block (lines 37-43) repeats the same patterns unreachably;
+    # `out = []` accumulator inits and the raise path stay silent too.
+    assert not any(v.line >= 33 for v in violations)
+
+
+# -- PERF102: superlinear accumulation in hot regions -----------------------
+
+
+def test_perf102_flags_quadratic_patterns_at_exact_lines():
+    violations, _ = run_fixture("perf102", select=["PERF102"])
+    assert all(v.rule == "PERF102" for v in violations)
+    assert located(violations) == [
+        ("accumulate.py", 16),  # log += str concatenation
+        ("accumulate.py", 17),  # membership test against a list
+        ("accumulate.py", 19),  # recent.insert(0, ...)
+        ("accumulate.py", 20),  # sorted() inside the loop
+    ]
+
+
+def test_perf102_messages_name_the_accumulators():
+    violations, _ = run_fixture("perf102", select=["PERF102"])
+    by_line = {v.line: v.message for v in violations}
+    assert "'log' grows by str += concatenation" in by_line[16]
+    assert "membership test against list 'seen'" in by_line[17]
+    assert "'recent.insert(0, ...)'" in by_line[19]
+    assert "full re-sort per iteration" in by_line[20]
+    assert all("via accumulate.drain" in v.message for v in violations)
+
+
+def test_perf102_straight_line_helper_and_cold_twin_are_silent():
+    violations, _ = run_fixture("perf102", select=["PERF102"])
+    # push()'s += is straight-line in a non-root function; cold_drain
+    # repeats the loop patterns unreachably.
+    assert not any(v.line >= 25 for v in violations)
+
+
+# -- PERF103: numpy <-> Python scalar churn in hot regions ------------------
+
+
+def test_perf103_flags_churn_sites_at_exact_lines():
+    violations, _ = run_fixture("perf103", select=["PERF103"])
+    assert all(v.rule == "PERF103" for v in violations)
+    assert located(violations) == [
+        ("vectors.py", 17),  # values[index] by loop variable
+        ("vectors.py", 18),  # for value in values
+        ("vectors.py", 21),  # np.append in the while loop
+        ("vectors.py", 30),  # squeezed[index] in the reachable callee
+        ("vectors.py", 31),  # .item() in the reachable callee
+    ]
+
+
+def test_perf103_messages_carry_witness_chains():
+    violations, _ = run_fixture("perf103", select=["PERF103"])
+    by_line = {v.line: v.message for v in violations}
+    assert "element-wise indexing of array 'values'" in by_line[17]
+    assert "Python-level loop over array 'values'" in by_line[18]
+    assert "'np.append' copies the whole array" in by_line[21]
+    assert "via vectors.fold -> vectors.collapse" in by_line[30]
+    assert "'.item()' unboxing one numpy scalar" in by_line[31]
+
+
+def test_perf103_constant_indexing_and_cold_twin_are_silent():
+    violations, _ = run_fixture("perf103", select=["PERF103"])
+    # squeezed[0] (line 26) is a one-off read, not per-element churn;
+    # cold_fold (lines 39+) repeats the loop patterns unreachably.
+    assert not any(v.line in (26,) or v.line >= 35 for v in violations)
+
+
+def test_hot_loop_comment_marks_custom_roots(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "custom.py").write_text(
+        "def spin(items):  # repro-lint: hot-loop\n"
+        "    return churn(items)\n"
+        "\n"
+        "\n"
+        "def churn(items):\n"
+        "    out = []\n"
+        "    for item in items:\n"
+        "        out.append({'item': item})\n"
+        "    return out\n"
+        "\n"
+        "\n"
+        "def unmarked(items):\n"
+        "    out = []\n"
+        "    for item in items:\n"
+        "        out.append({'item': item})\n"
+        "    return out\n"
+    )
+    violations, _ = lint_program_paths([str(tmp_path)], select=["PERF101"])
+    # Only the churn() reached from the marked root fires; the identical
+    # unmarked() function is outside every hot region.
+    assert located(violations) == [("custom.py", 8)]
+    assert "via custom.spin -> custom.churn" in violations[0].message
+
+
 # -- program mechanics ------------------------------------------------------
 
 
@@ -317,6 +443,9 @@ def test_program_rules_registry_is_complete():
         "MUT101",
         "MUT102",
         "MUT103",
+        "PERF101",
+        "PERF102",
+        "PERF103",
     }
 
 
@@ -404,6 +533,31 @@ def test_cache_invalidated_by_checker_version_bump(tmp_path):
     assert program2.cache_hits == 0
     assert program2.cache_misses == program.cache_misses
     assert [v.format() for v in baseline] == [v.format() for v in after]
+
+
+def test_cache_invalidated_by_interpreter_version_change(tmp_path):
+    # Facts depend on ast.parse output, which differs across feature
+    # versions — a cache written under Python 3.9 must not be trusted
+    # under 3.12 even for byte-identical sources (regression: the key
+    # used to cover only FACTS_VERSION + checker_token + content hash).
+    import json as json_mod
+
+    tree = _copy_fixture("det101", tmp_path)
+    cache_path = str(tmp_path / "facts.json")
+    baseline, program = lint_program_paths([str(tree)], cache_path=cache_path)
+    with open(cache_path) as handle:
+        payload = json_mod.load(handle)
+    assert payload["python"] == "%d.%d" % sys.version_info[:2]
+    payload["python"] = "3.0"  # pretend another interpreter wrote it
+    with open(cache_path, "w") as handle:
+        json_mod.dump(payload, handle)
+    after, program2 = lint_program_paths([str(tree)], cache_path=cache_path)
+    assert program2.cache_hits == 0
+    assert program2.cache_misses == program.cache_misses
+    assert [v.format() for v in baseline] == [v.format() for v in after]
+    # The rewritten cache records the real interpreter again.
+    with open(cache_path) as handle:
+        assert json_mod.load(handle)["python"] == "%d.%d" % sys.version_info[:2]
 
 
 def test_cache_file_survives_corruption(tmp_path):

@@ -34,8 +34,21 @@ def test_sarif_driver_lists_every_rule():
     ids = [rule["id"] for rule in driver["rules"]]
     assert ids == sorted(ids)
     for rule in ("DET001", "DET002", "DET003", "DET101", "LNT001",
-                 "MUT101", "MUT102", "MUT103", "OBS101", "PKT001", "RNG101"):
+                 "MUT101", "MUT102", "MUT103", "OBS101", "PERF101",
+                 "PERF102", "PERF103", "PKT001", "RNG101"):
         assert rule in ids
+
+
+def test_sarif_perf_rules_carry_help_uris():
+    from repro.lint.sarif import TOOL_URI
+
+    _, output = run_sarif([os.path.join(FIXTURES, "pkt001_bad.py")])
+    rules = json.loads(output)["runs"][0]["tool"]["driver"]["rules"]
+    by_id = {rule["id"]: rule for rule in rules}
+    for rule_id in ("PERF101", "PERF102", "PERF103"):
+        entry = by_id[rule_id]
+        assert entry["helpUri"] == "%s#%s" % (TOOL_URI, rule_id.lower())
+        assert "hot" in entry["shortDescription"]["text"]
 
 
 def test_sarif_rules_carry_description_and_help_uri():
